@@ -1,0 +1,101 @@
+// Section 3.3 claims: the combined multi-Vdd + multi-Vth + re-sizing
+// approach, including the ordering argument (re-sizing first consumes the
+// slack multi-Vdd needs; the quadratic Vdd saving should come first).
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/combined.h"
+#include "opt/simultaneous.h"
+#include "util/table.h"
+
+namespace {
+
+nano::circuit::Netlist makeDesign(const nano::circuit::Library& lib) {
+  nano::util::Rng rng(2026);
+  nano::circuit::GeneratorConfig cfg;
+  cfg.gates = 1200;
+  cfg.outputs = 80;
+  nano::circuit::Netlist nl = nano::circuit::pipelinedLogic(lib, cfg, rng, 8);
+  for (int g : nl.gateIds()) {
+    const auto& cell = nl.node(g).cell;
+    nl.replaceCell(g, lib.pick(cell.function, 2.0));
+  }
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  const auto& node = tech::nodeByFeature(70);
+  const circuit::Library lib(node);
+  const circuit::Netlist design = makeDesign(lib);
+
+  auto report = [&](const char* title, const opt::FlowOptions& options) {
+    const opt::FlowResult r = opt::runFlow(design, lib, options);
+    std::cout << title << ":\n";
+    util::TextTable t({"stage", "total power (uW)", "vs start", "low-Vdd",
+                       "high-Vth", "timing"});
+    t.addRow({"(start)", fmt(r.powerBefore.total() * 1e6, 1), "100 %", "0 %",
+              "0 %", "met"});
+    for (const auto& s : r.stages) {
+      t.addRow({s.name, fmt(s.power.total() * 1e6, 1),
+                fmt(100 * s.power.total() / r.powerBefore.total(), 0) + " %",
+                fmt(100 * s.fractionLowVdd, 0) + " %",
+                fmt(100 * s.fractionHighVth, 0) + " %",
+                s.timing.meetsTiming() ? "met" : "VIOLATED"});
+    }
+    t.print(std::cout);
+    return r;
+  };
+
+  opt::FlowOptions vddFirst;  // the paper's recommended order
+  vddFirst.stages = {opt::FlowStage::MultiVdd, opt::FlowStage::DualVth,
+                     opt::FlowStage::Downsize};
+  const auto a = report("Paper's order: multi-Vdd -> dual-Vth -> re-sizing",
+                        vddFirst);
+
+  opt::FlowOptions sizeFirst;  // today's practice the paper criticizes
+  sizeFirst.stages = {opt::FlowStage::Downsize, opt::FlowStage::DualVth,
+                      opt::FlowStage::MultiVdd};
+  const auto b = report("\nToday's practice: re-sizing first", sizeFirst);
+
+  // The ref-[22] alternative: interleave sizing and Vth moves by marginal
+  // benefit instead of staging them (on a 400-gate slice; the greedy
+  // re-evaluates every gate per move, so it is the slow gold standard).
+  util::Rng simRng(77);
+  circuit::GeneratorConfig simCfg;
+  simCfg.gates = 400;
+  simCfg.outputs = 32;
+  circuit::Netlist simDesign = circuit::pipelinedLogic(lib, simCfg, simRng, 5);
+  for (int g : simDesign.gateIds()) {
+    const auto& cell = simDesign.node(g).cell;
+    simDesign.replaceCell(g, lib.pick(cell.function, 2.0));
+  }
+  const opt::SimultaneousResult sim = opt::runSimultaneous(simDesign, lib);
+  std::cout << "\nSimultaneous sizing+Vth (ref [22] style): "
+            << fmt(100 * (1.0 - sim.powerAfter.total() /
+                                    sim.powerBefore.total()),
+                   0)
+            << " % of power removed with " << sim.sizeMoves
+            << " sizing and " << sim.vthMoves
+            << " Vth moves, timing "
+            << (sim.timingAfter.meetsTiming() ? "met" : "VIOLATED")
+            << " (no multi-Vdd; compare against the dual-Vth + re-sizing"
+               " stages above).\n";
+
+  std::cout << "\nOrdering result: Vdd-first ends at "
+            << fmt(100 * (1.0 - a.totalSavings()), 0)
+            << " % of starting power vs "
+            << fmt(100 * (1.0 - b.totalSavings()), 0)
+            << " % for sizing-first; sizing-first leaves only "
+            << fmt(100 * b.stages.back().fractionLowVdd, 0)
+            << " % of gates at Vdd,l vs "
+            << fmt(100 * a.stages[0].fractionLowVdd, 0)
+            << " % (the paper's sub-optimality argument: the sub-linear"
+               " sizing return eats the slack the quadratic Vdd saving"
+               " needed).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Section 2.4 claims: clustered voltage scaling (multi-Vdd).
+//  * path-slack profile ("over half of all paths use less than half the
+//    clock cycle")
+//  * fraction of gates assignable to Vdd,l = 0.65*Vdd,h (paper: ~75 %)
+//  * dynamic power reduction (paper: 45-50 % incl. 8-10 % conversion)
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/cvs.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  const auto& node = tech::nodeByFeature(100);
+  const circuit::Library lib(node);
+  util::Rng rng(42);
+  circuit::GeneratorConfig cfg;
+  cfg.gates = 2000;
+  cfg.outputs = 128;
+  const circuit::Netlist design = circuit::pipelinedLogic(lib, cfg, rng, 10);
+
+  const auto timing = sta::analyze(design);
+  std::cout << "Design: " << design.gateCount() << " gates, "
+            << design.outputs().size() << " endpoints, critical path "
+            << fmt(timing.criticalPathDelay * 1e12, 0) << " ps\n";
+  std::cout << "Path-delay profile: "
+            << fmt(100 * sta::fractionOfPathsFasterThan(timing, design, 0.5), 0)
+            << " % of paths use less than half the clock (paper: over"
+               " half)\n";
+  const auto hist = sta::pathDelayHistogram(timing, design, 10);
+  std::cout << "Histogram (fraction of endpoints per 10 % of clock):\n  ";
+  for (int b = 0; b < hist.bins(); ++b) {
+    std::cout << fmt(100 * hist.fraction(b), 0) << "% ";
+  }
+  std::cout << "\n\n";
+
+  const opt::CvsResult r = opt::runCvs(design, lib);
+  util::TextTable t({"metric", "model", "paper"});
+  t.addRow({"gates at Vdd,l", fmt(100 * r.fractionLowVdd, 0) + " %", "~75 %"});
+  t.addRow({"level converters", std::to_string(r.convertersAdded), "-"});
+  t.addRow({"dynamic power reduction", fmt(100 * r.dynamicSavings(), 0) + " %",
+            "45-50 %"});
+  t.addRow({"conversion share of dynamic power",
+            fmt(100 * r.converterPowerFraction(), 0) + " %", "8-10 %"});
+  t.addRow({"timing met", r.timingAfter.meetsTiming() ? "yes" : "NO", "yes"});
+  t.print(std::cout);
+  std::cout << "(Vdd,l = 0.65 * Vdd,h, the ratio the paper identifies as"
+               " optimal; conversion happens in level-converting capture"
+               " stages at block outputs)\n";
+  return 0;
+}

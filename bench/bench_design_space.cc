@@ -1,0 +1,65 @@
+// Section 3.3's endgame, generalized: the full (Vdd, Vth) design-space
+// exploration the paper says multi-Vdd + multi-Vth hand to EDA tools.
+// Prints the total-power-optimal operating point per delay target, with
+// and without the ITRS leakage cap (Pdyn >= 10 * Pstat) — the capped
+// iso-delay optimum is the paper's "Vdd of about 0.44 V is attainable,
+// providing 46 % dynamic power reduction".
+#include <iostream>
+
+#include "core/design_space.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  core::DesignSpaceOptions options;
+  options.nodeNm = 35;
+  options.activity = 0.1;
+
+  std::cout << "Optimal (Vdd, Vth) per delay target at 35 nm, activity 0.1"
+               " (normalized to the nominal 0.6 V / Table-2 Vth corner):\n\n";
+
+  for (bool capped : {false, true}) {
+    std::cout << (capped ? "With the ITRS cap (Pdyn >= 10 * Pstat):"
+                         : "Unconstrained leakage:")
+              << '\n';
+    util::TextTable t({"delay target", "Vdd (V)", "Vth (V)", "total power",
+                       "dynamic", "static share"});
+    for (double target : {1.0, 1.2, 1.5, 2.0, 3.0}) {
+      const auto pt =
+          capped ? core::optimalPoint(options, target,
+                                      core::kItrsStaticFractionCap)
+                 : core::optimalPoint(options, target);
+      t.addRow({fmt(target, 1) + "x", fmt(pt.vdd, 3), fmt(pt.vthDesign, 3),
+                fmt(100 * pt.ptotalNorm, 1) + " %",
+                fmt(100 * pt.pdynNorm, 1) + " %",
+                fmt(100 * pt.staticFraction, 1) + " %"});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  const auto itrsPoint =
+      core::optimalPoint(options, 1.0, core::kItrsStaticFractionCap);
+  std::cout << "Headline: at ISO-delay under the ITRS cap the optimum is"
+               " Vdd = "
+            << fmt(itrsPoint.vdd, 2) << " V with "
+            << fmt(100 * (1.0 - itrsPoint.ptotalNorm), 0)
+            << " % total power saved (paper: ~0.44 V, 46 %).\n"
+               "Without the cap the model pins Vdd at the floor and buys"
+               " the speed back with near-zero Vth — the leakage constraint,"
+               " not delay, is what sets the practical supply floor.\n\n";
+
+  // Dump the full surface for plotting.
+  util::CsvWriter csv("design_space.csv",
+                      {"vdd", "vth", "delay_norm", "pdyn_norm", "pstat_norm",
+                       "ptotal_norm"});
+  for (const auto& pt : core::exploreDesignSpace(options)) {
+    csv.row(std::vector<double>{pt.vdd, pt.vthDesign, pt.delayNorm,
+                                pt.pdynNorm, pt.pstatNorm, pt.ptotalNorm});
+  }
+  std::cout << "(full surface written to design_space.csv)\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Section 3.2.2 claims: dual-Vth assignment — 40-80 % leakage reduction
+// with minimal critical-path penalty, across nodes (the technique's
+// scalability is Figure 2's subject).
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/dual_vth.h"
+#include "opt/sizing.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  std::cout << "Dual-Vth assignment (100 mV Vth step) on 1500-gate designs"
+               " with three starting points:\n"
+               "  raw    = one deep block, as generated (slack everywhere)\n"
+               "  slack  = register-bounded multi-block profile\n"
+               "  sized  = after power-driven downsizing consumed the slack\n"
+               "           (the paper's [22] simultaneous-sizing setting)\n";
+  util::TextTable t({"node (nm)", "profile", "gates at high Vth",
+                     "leakage reduction", "critical-path penalty",
+                     "timing met"});
+  for (int f : {180, 100, 70, 50, 35}) {
+    const auto& node = tech::nodeByFeature(f);
+    const circuit::Library lib(node);
+    for (int profile = 0; profile < 3; ++profile) {
+      util::Rng rng(77);
+      circuit::GeneratorConfig cfg;
+      cfg.gates = 1500;
+      cfg.outputs = 96;
+      circuit::Netlist design = profile == 1
+                                    ? circuit::pipelinedLogic(lib, cfg, rng, 8)
+                                    : circuit::randomLogic(lib, cfg, rng);
+      if (profile == 2) {
+        opt::SizingOptions so;
+        so.continuousSizes = true;
+        design = opt::downsizeForPower(design, lib, so).netlist;
+      }
+      const opt::DualVthResult r = opt::runDualVth(design, lib);
+      const char* names[3] = {"raw", "slack", "sized"};
+      t.addRow({std::to_string(f), names[profile],
+                fmt(100 * r.fractionHighVth, 0) + " %",
+                fmt(100 * r.leakageSavings(), 0) + " %",
+                fmt(100 * r.criticalPathPenalty(), 2) + " %",
+                r.timingAfter.meetsTiming() ? "yes" : "NO"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(paper [22,39]: typical results are 40-80 % leakage power"
+               " reduction with minimal critical-path penalty; the approach"
+               " stays effective down the roadmap because the Ioff price of"
+               " low Vth falls with scaling — see bench_fig2)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Figure 4: Pdynamic/Pstatic vs Vdd at 35 nm (activity 0.1)
+// for the three Vth policies, plus the Section 3.3 headline numbers
+// (0.2 V operation, the Pdyn/Pstat = 10 supply point).
+#include <iostream>
+
+#include "core/experiments.h"
+#include "core/report.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace nano;
+  const auto series = core::computeFigure34(35, 9, 0.1);
+  core::printFigure4(std::cout, series);
+
+  std::cout << '\n';
+  core::printSection33Claims(std::cout, core::computeSection33Claims());
+
+  util::CsvWriter csv("fig4.csv",
+                      {"vdd", "ratio_const", "ratio_scaled",
+                       "ratio_conservative"});
+  for (const auto& p : series) {
+    csv.row(std::vector<double>{p.vdd, p.pdynOverPstat[0], p.pdynOverPstat[1],
+                                p.pdynOverPstat[2]});
+  }
+  std::cout << "(series written to fig4.csv)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Section 4 claims: power-delivery transients.
+//  * waking from standby ramps hundreds of amps in nanoseconds; the bump
+//    array's inductance turns dI/dt into supply noise
+//  * the minimum bump pitch provides a much lower-inductance path than the
+//    ITRS pad-count projection
+//  * required on-die decoupling, and a spice-lite simulation of the ramp
+//    through the package inductance.
+#include <iostream>
+
+#include "powergrid/transient.h"
+#include "sim/circuit_sim.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nano;
+  using namespace nano::units;
+  using util::fmt;
+
+  std::cout << "Wake-up transient per node (5 ns ramp from 5 % standby"
+               " current):\n";
+  util::TextTable t({"node (nm)", "delta I (A)", "dI/dt (A/ns)",
+                     "noise, ITRS bumps (mV)", "noise, min pitch (mV)",
+                     "decap needed (nF)"});
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const auto itrs = powergrid::wakeupTransient(node, node.itrsVddPads);
+    const auto dense =
+        powergrid::wakeupTransient(node, powergrid::minPitchVddBumps(node));
+    t.addRow({std::to_string(f), fmt(itrs.deltaCurrent, 0),
+              fmt(itrs.dIdt * 1e-9, 0), fmt(itrs.noiseVoltage * 1e3, 2),
+              fmt(dense.noiseVoltage * 1e3, 2),
+              fmt(itrs.decapNeeded * 1e9, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: awakening from standby places an extreme burden on"
+               " the power network; the minimum bump pitch provides a low"
+               " inductance path)\n\n";
+
+  // Waveform-level check at 35 nm: the true L-C network (package/bump
+  // inductance into the on-die decap) under the standby-exit current ramp.
+  const auto& n35 = tech::nodeByFeature(35);
+  const auto rep = powergrid::wakeupTransient(n35, n35.itrsVddPads);
+  sim::Circuit ckt;
+  const int supply = ckt.node();
+  const int die = ckt.node();
+  const double tRamp = 5e-9;
+  ckt.add(sim::VoltageSource{supply, 0, sim::Waveform::dc(n35.vdd)});
+  ckt.add(sim::Inductor{supply, die, rep.effectiveInductance});
+  // Series loss of the bump array (damps the L-C resonance).
+  ckt.add(sim::Resistor{supply, die, 50e-3});
+  ckt.add(sim::Capacitor{die, 0, rep.decapNeeded});
+  ckt.add(sim::CurrentSource{
+      die, 0,
+      sim::Waveform::pwl({{0.0, 0.05 * n35.supplyCurrent()},
+                          {1e-9, 0.05 * n35.supplyCurrent()},
+                          {1e-9 + tRamp, n35.supplyCurrent()}})});
+  sim::Simulator sim(ckt);
+  const auto tr = sim.transient(30e-9, 10e-12);
+  double vmin = n35.vdd;
+  for (const auto& step : tr.voltages) {
+    vmin = std::min(vmin, step[static_cast<std::size_t>(die)]);
+  }
+  std::cout << "Waveform check (35 nm, ITRS bumps, decap as sized, true"
+               " L-C deck): die supply droops to "
+            << fmt(vmin, 3) << " V (" << fmt(100 * (n35.vdd - vmin) / n35.vdd, 1)
+            << " % of Vdd; budget 5 %)\n";
+  return 0;
+}

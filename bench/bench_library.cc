@@ -1,0 +1,76 @@
+// Section 2.3 claims: library granularity and on-the-fly cell generation.
+//  * smallest-inverter input capacitance of a rich library (paper: 1.5 fF
+//    at 180 nm, refuting [15]'s "10x minimum size" claim)
+//  * on-the-fly exact sizing on top of a coarse library recovers
+//    double-digit power at fixed timing (paper: 15-22 %).
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/sizing.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nano;
+  using namespace nano::units;
+  using util::fmt;
+
+  std::cout << "Library granularity (smallest inverter input cap):\n";
+  util::TextTable g({"node (nm)", "rich library (fF)", "coarse {4,16,32} (fF)"});
+  for (int f : {180, 100, 50}) {
+    const circuit::Library rich(tech::nodeByFeature(f));
+    circuit::LibraryConfig coarseCfg;
+    coarseCfg.driveStrengths = {4, 16, 32};
+    const circuit::Library coarse(tech::nodeByFeature(f), coarseCfg);
+    g.addRow({std::to_string(f),
+              fmt(rich.smallestInverterInputCap() / fF, 2),
+              fmt(coarse.smallestInverterInputCap() / fF, 2)});
+  }
+  g.print(std::cout);
+  std::cout << "(paper: the smallest 180 nm standard-cell inverter is just"
+               " 1.5 fF — modern libraries are not 10x minimum size)\n\n";
+
+  std::cout << "On-the-fly cell generation vs discrete libraries\n"
+               "(1200-gate block mapped at drive 4, then re-sized to a"
+               " target stage effort of 4, timing preserved):\n";
+  util::TextTable t({"library", "sizing", "power saving", "area saving",
+                     "timing met"});
+  double powerAfterRichDiscrete = 0.0;
+  double powerAfterRichCustom = 0.0;
+  for (bool richLib : {false, true}) {
+    circuit::LibraryConfig cfg;
+    if (!richLib) cfg.driveStrengths = {1, 4, 16};
+    const circuit::Library lib(tech::nodeByFeature(100), cfg);
+    util::Rng rng(909);
+    circuit::GeneratorConfig gcfg;
+    gcfg.gates = 1200;
+    circuit::Netlist nl = circuit::pipelinedLogic(lib, gcfg, rng, 6);
+    for (int gate : nl.gateIds()) {
+      const auto& cell = nl.node(gate).cell;
+      nl.replaceCell(gate, lib.pick(cell.function, 4.0));
+    }
+    for (bool custom : {false, true}) {
+      opt::SizingOptions so;
+      so.continuousSizes = custom;
+      const opt::SizingResult r = opt::sizeToLoad(nl, lib, 4.0, so);
+      t.addRow({richLib ? "rich (11 sizes)" : "coarse {1,4,16}",
+                custom ? "on-the-fly exact" : "discrete round-up",
+                fmt(100 * r.powerSavings(), 1) + " %",
+                fmt(100 * r.areaSavings(), 1) + " %",
+                r.timingAfter.meetsTiming() ? "yes" : "NO"});
+      if (richLib) {
+        (custom ? powerAfterRichCustom : powerAfterRichDiscrete) =
+            r.powerAfter.total();
+      }
+    }
+  }
+  t.print(std::cout);
+  std::cout << "On-the-fly cells over the already-rich library save a"
+               " further "
+            << fmt(100 * (1.0 - powerAfterRichCustom / powerAfterRichDiscrete),
+                   1)
+            << " % (paper [17]: 15-22 % power reductions with fixed"
+               " timing — the win comes from not overdriving small"
+               " loads)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Section 4 claims: MOS current-mode logic as a current-transient-free
+// alternative to static CMOS — constant supply draw, delay-matched
+// comparison, and the activity crossover that moves into realizable
+// territory as CMOS leakage explodes at the end of the roadmap.
+#include <iostream>
+
+#include "signaling/mcml.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nano;
+  using namespace nano::units;
+  using util::fmt;
+
+  const double load = 10 * fF;
+  std::cout << "Delay-matched MCML vs static CMOS (10 fF load):\n";
+  util::TextTable t({"node (nm)", "delay (ps)", "MCML tail (uA)",
+                     "CMOS peak I (uA)", "MCML transient (uA)",
+                     "crossover activity"});
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const auto pair = signaling::buildMatchedPair(node, load);
+    const double crossover = signaling::mcmlCrossoverActivity(node, load);
+    t.addRow({std::to_string(f), fmt(pair.cmos.delayS * 1e12, 1),
+              fmt(pair.mcml.tailCurrent * 1e6, 1),
+              fmt(pair.cmos.peakSupplyCurrentA * 1e6, 0),
+              fmt(pair.mcml.supplyCurrentRipple() * pair.mcml.tailCurrent * 1e6,
+                  2),
+              crossover > 1.0 ? (fmt(crossover, 2) + " (CMOS wins)")
+                              : fmt(crossover, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: MCML burns static power but produces far smaller"
+               " current transients; as static CMOS leakage becomes"
+               " intractable at 50/35 nm, the total-power crossover falls"
+               " below 1 for high-activity datapaths [42])\n\n";
+
+  // Power vs activity at 50 nm: the crossover in detail.
+  const auto& n50 = tech::nodeByFeature(50);
+  const auto pair = signaling::buildMatchedPair(n50, load);
+  std::cout << "50 nm total power vs activity (delay-matched, local clock):\n";
+  util::TextTable p({"activity", "CMOS (uW)", "MCML (uW)", "winner"});
+  for (double a : {0.05, 0.1, 0.25, 0.5, 0.9}) {
+    const double cmos = pair.cmos.totalPower(n50.clockLocal, a);
+    const double mcml = pair.mcml.totalPower(n50.vdd, n50.clockLocal, a);
+    p.addRow({fmt(a, 2), fmt(cmos * 1e6, 2), fmt(mcml * 1e6, 2),
+              mcml < cmos ? "MCML" : "CMOS"});
+  }
+  p.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Kernel timing benchmarks (google-benchmark): the computational cores a
+// downstream user would stress — STA, the CVS optimizer, the power-grid CG
+// solve, the transient simulator, and the device-model Vth solve.
+#include <benchmark/benchmark.h>
+
+#include "circuit/generator.h"
+#include "device/mosfet.h"
+#include "opt/dual_vth.h"
+#include "powergrid/grid_model.h"
+#include "sim/circuit_sim.h"
+#include "sta/sta.h"
+
+namespace {
+
+using namespace nano;
+
+const circuit::Library& lib100() {
+  static const circuit::Library lib(tech::nodeByFeature(100));
+  return lib;
+}
+
+circuit::Netlist makeNetlist(int gates) {
+  util::Rng rng(1);
+  circuit::GeneratorConfig cfg;
+  cfg.gates = gates;
+  cfg.outputs = gates / 16;
+  return circuit::pipelinedLogic(lib100(), cfg, rng, 8);
+}
+
+void BM_VthSolve(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(35);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device::solveVthForIon(node, node.ionTarget));
+  }
+}
+BENCHMARK(BM_VthSolve);
+
+void BM_Sta(benchmark::State& state) {
+  const circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta::analyze(nl));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sta)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DualVth(benchmark::State& state) {
+  const circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::runDualVth(nl, lib100()));
+  }
+}
+BENCHMARK(BM_DualVth)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_GridSolve(benchmark::State& state) {
+  powergrid::GridConfig cfg;
+  cfg.railPitch = 160e-6;
+  cfg.bumpPitch = 160e-6;
+  cfg.railWidth = 2e-6;
+  cfg.tilesX = cfg.tilesY = static_cast<int>(state.range(0));
+  cfg.subdivisions = 8;
+  cfg.hotspotFactor = 4.0;
+  cfg.hotspotCellsRail = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(powergrid::solveGrid(cfg));
+  }
+}
+BENCHMARK(BM_GridSolve)->Arg(3)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_TransientSim(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(100);
+  const double vth = device::solveVthForIon(node, node.ionTarget);
+  auto model =
+      std::make_shared<device::Mosfet>(device::Mosfet::fromNode(node, vth));
+  device::InverterModel inv(node, vth, node.vdd);
+  sim::Circuit ckt;
+  const int vdd = ckt.node();
+  ckt.add(sim::VoltageSource{vdd, 0, sim::Waveform::dc(node.vdd)});
+  const int in = ckt.node();
+  ckt.add(sim::VoltageSource{
+      in, 0, sim::Waveform::pulse(0, node.vdd, 20e-12, 5e-12, 1, 5e-12)});
+  int prev = in;
+  for (int i = 0; i < 8; ++i) {
+    const int out = ckt.node();
+    ckt.addInverter(prev, out, vdd, model, inv.wn(), inv.wp());
+    prev = out;
+  }
+  for (auto _ : state) {
+    sim::Simulator sim(ckt);
+    benchmark::DoNotOptimize(sim.transient(300e-12, 0.5e-12));
+  }
+}
+BENCHMARK(BM_TransientSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Section 2.2 claims: global signaling with repeater-inserted RC wires.
+//  * repeater population grows from ~1e4 (180 nm) to ~1e6 (50 nm)
+//  * the repeated-wire subsystem burns > 50 W in the nanometer regime
+//  * unscaled (180 nm geometry) top-level wires can meet the ITRS global
+//    clock, scaled ones cannot.
+#include <iostream>
+
+#include "interconnect/global_wiring.h"
+#include "interconnect/wire_sizing.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+  using util::fmtSci;
+
+  std::cout << "Global-wiring rollup per node (scaled top-level wires):\n";
+  util::TextTable t({"node (nm)", "global nets", "total wire (m)",
+                     "repeater pitch (mm)", "repeater size (x)", "repeaters",
+                     "power (W)", "die crossing (cycles)"});
+  util::CsvWriter csv("repeaters.csv",
+                      {"node_nm", "repeaters", "power_w", "cycles_scaled",
+                       "cycles_unscaled"});
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const auto rep = interconnect::analyzeGlobalWiring(node);
+    t.addRow({std::to_string(f), fmt(rep.globalNetCount, 0),
+              fmt(rep.totalWireLength, 0),
+              fmt(rep.design.segmentLength * 1e3, 2), fmt(rep.design.size, 0),
+              fmtSci(rep.repeaterCount, 2), fmt(rep.power.total(), 1),
+              fmt(rep.cyclesToCrossDie, 2)});
+    interconnect::GlobalWiringOptions u;
+    u.unscaledWires = true;
+    const auto repU = interconnect::analyzeGlobalWiring(node, u);
+    csv.row(std::vector<double>{static_cast<double>(f), rep.repeaterCount,
+                                rep.power.total(), rep.cyclesToCrossDie,
+                                repU.cyclesToCrossDie});
+  }
+  t.print(std::cout);
+  std::cout << "(paper anchors: ~1e4 repeaters in a large 180 nm MPU [11],"
+               " ~1e6 at 50 nm, > 50 W of global signaling power)\n\n";
+
+  std::cout << "Unscaled top-level wiring (the [9] scenario):\n";
+  util::TextTable u({"node (nm)", "delay/mm scaled (ps)",
+                     "delay/mm unscaled (ps)", "crossing scaled (cyc)",
+                     "crossing unscaled (cyc)"});
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const auto s = interconnect::analyzeGlobalWiring(node);
+    interconnect::GlobalWiringOptions opt;
+    opt.unscaledWires = true;
+    const auto un = interconnect::analyzeGlobalWiring(node, opt);
+    u.addRow({std::to_string(f), fmt(s.delayPerMeter * 1e9, 1),
+              fmt(un.delayPerMeter * 1e9, 1), fmt(s.cyclesToCrossDie, 2),
+              fmt(un.cyclesToCrossDie, 2)});
+  }
+  u.print(std::cout);
+  std::cout << "(paper: ITRS global clock rates are reachable with unscaled"
+               " top wires — about one global cycle per die crossing — while"
+               " scaled wires need several cycles by 35 nm)\n\n";
+
+  std::cout << "Wire-sizing Pareto at 50 nm (each point re-optimizes the"
+               " repeaters):\n";
+  util::TextTable w({"width x", "spacing x", "delay (ps/mm)",
+                     "energy (fJ/mm/bit)", "tracks"});
+  const auto& n50 = tech::nodeByFeature(50);
+  for (const auto& p : interconnect::paretoFrontier(
+           interconnect::sweepWireSizing(n50, {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0},
+                                         {1.0, 2.0}))) {
+    w.addRow({fmt(p.widthMultiple, 1), fmt(p.spacingMultiple, 1),
+              fmt(p.delayPerMeter * 1e9, 1), fmt(p.energyPerMeterBit * 1e12, 1),
+              fmt(p.tracksPerWire, 1)});
+  }
+  w.print(std::cout);
+  const auto choice = interconnect::chooseWireSizing(n50, 0.10);
+  std::cout << "Spending 10 % of delay: width " << fmt(choice.efficient.widthMultiple, 1)
+            << "x / spacing " << fmt(choice.efficient.spacingMultiple, 1)
+            << "x saves " << fmt(100 * choice.energySavedFraction, 0)
+            << " % of per-bit energy vs the fastest geometry.\n"
+            << "(series written to repeaters.csv)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Scenario: architecture vs circuit knobs for a 32-bit adder at 70 nm.
+//
+// The paper's Section 3.3 message is that slack should be converted into
+// supply/threshold savings. Architecture creates that slack: a Kogge-Stone
+// prefix adder is ~3x faster than ripple-carry at 3.5x the gates — run
+// both through the multi-Vdd + dual-Vth + sizing flow at the SAME clock
+// (the ripple adder's critical path) and see which wins on power.
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/combined.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  const auto& node = tech::nodeByFeature(70);
+  const circuit::Library lib(node);
+  const int bits = 32;
+
+  const circuit::Netlist ripple = circuit::rippleCarryAdder(lib, bits);
+  const circuit::Netlist kogge = circuit::koggeStoneAdder(lib, bits);
+
+  const double rippleDelay = sta::analyze(ripple).criticalPathDelay;
+  const double koggeDelay = sta::analyze(kogge).criticalPathDelay;
+  std::cout << "=== " << bits << "-bit adder architectures at "
+            << node.featureNm << " nm ===\n"
+            << "ripple-carry: " << ripple.gateCount() << " gates, "
+            << fmt(rippleDelay * 1e12, 0) << " ps critical path\n"
+            << "Kogge-Stone:  " << kogge.gateCount() << " gates, "
+            << fmt(koggeDelay * 1e12, 0) << " ps critical path ("
+            << fmt(rippleDelay / koggeDelay, 1) << "x faster)\n\n";
+
+  // Both run at the ripple adder's clock: the prefix adder's architectural
+  // slack becomes the optimizer's raw material.
+  const double clock = rippleDelay;
+  const double freq = 1.0 / clock;
+
+  util::TextTable t({"architecture", "power before (uW)", "power after (uW)",
+                     "savings", "low-Vdd", "high-Vth", "timing"});
+  for (const auto* entry : {&ripple, &kogge}) {
+    opt::FlowOptions options;
+    options.clockPeriod = clock;
+    const opt::FlowResult flow = opt::runFlow(*entry, lib, options, freq);
+    const auto& last = flow.stages.back();
+    t.addRow({entry == &ripple ? "ripple-carry" : "Kogge-Stone",
+              fmt(flow.powerBefore.total() * 1e6, 2),
+              fmt(last.power.total() * 1e6, 2),
+              fmt(100 * flow.totalSavings(), 0) + " %",
+              fmt(100 * last.fractionLowVdd, 0) + " %",
+              fmt(100 * last.fractionHighVth, 0) + " %",
+              last.timing.meetsTiming() ? "met" : "VIOLATED"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: the prefix adder starts ~3x hungrier (3.5x the"
+               " gates at the same clock), but its architectural slack lets"
+               " the flow push nearly every gate to Vdd,l and high Vth — the"
+               " paper's point that slack is worth more spent on supply and"
+               " threshold than left on the table. Compare the two"
+               " after-flow columns to see how much of the architecture gap"
+               " the circuit knobs close.\n";
+  return 0;
+}

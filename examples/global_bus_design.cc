@@ -1,0 +1,75 @@
+// Scenario: designing a 128-bit cross-chip bus at 50 nm — the paper's
+// Section 2.2 trade study. Compares full-swing repeated CMOS against
+// low-swing differential signaling on delay, power, peak current, noise
+// and routing cost, then validates the low-swing timing premise with the
+// waveform-level simulator.
+#include <cmath>
+#include <iostream>
+
+#include "interconnect/repeater.h"
+#include "signaling/comparison.h"
+#include "sim/circuit_sim.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace nano;
+  using namespace nano::units;
+  using util::fmt;
+
+  const auto& node = tech::nodeByFeature(50);
+  const double length = 0.8 * std::sqrt(node.dieArea);
+  const int bits = 128;
+  std::cout << "=== " << bits << "-bit bus, " << fmt(length * 1e3, 1)
+            << " mm across a " << node.featureNm << " nm die ===\n\n";
+
+  std::cout << "Per-bit strategy comparison:\n";
+  util::TextTable t({"strategy", "delay (ps)", "energy/bit (fJ)",
+                     "peak I (mA)", "tracks", "noise margin (mV)", "SI ok"});
+  for (const auto& s : signaling::compareStrategies(node, length, 0.25)) {
+    t.addRow({s.name, fmt(s.link.delay * 1e12, 0),
+              fmt(s.link.energyPerTransition * 1e15, 0),
+              fmt(s.link.peakSupplyCurrent * 1e3, 1),
+              fmt(s.link.routingTracks, 0),
+              fmt(s.noise.noiseMargin * 1e3, 1),
+              s.noise.passes() ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  const auto bus = signaling::compareBus(node, bits, length, 0.25);
+  std::cout << "\nBus totals: " << fmt(bus.fullSwing.powerAtGlobalClock, 2)
+            << " W full-swing vs "
+            << fmt(bus.lowSwingDifferential.powerAtGlobalClock, 2)
+            << " W low-swing differential (" << fmt(bus.powerRatio, 1)
+            << "x), peak current " << fmt(bus.peakCurrentRatio, 1)
+            << "x lower, routing " << fmt(bus.trackRatio, 2)
+            << "x the tracks.\n\n";
+
+  // Waveform-level validation of the low-swing timing premise: the far
+  // end of the RC line reaches the receiver threshold (10 % of Vdd) long
+  // before full settling.
+  const auto rc = interconnect::computeWireRc(interconnect::topLevelWire(node));
+  sim::Circuit ckt;
+  const int in = ckt.node();
+  ckt.add(sim::VoltageSource{
+      in, 0, sim::Waveform::pulse(0, node.vdd, 10 * ps, 5 * ps, 1.0, 5 * ps)});
+  const int segments = 24;
+  int prev = in, far = in;
+  for (int i = 0; i < segments; ++i) {
+    const int next = ckt.node();
+    ckt.add(sim::Resistor{prev, next, rc.resistancePerM * length / segments});
+    ckt.add(sim::Capacitor{next, 0, rc.totalCapPerM() * length / segments});
+    prev = next;
+    far = next;
+  }
+  sim::Simulator sim(ckt);
+  const auto tr = sim.transient(6 * ns, 2 * ps);
+  const double t10 = tr.crossingTime(far, 0.10 * node.vdd, true);
+  const double t50 = tr.crossingTime(far, 0.50 * node.vdd, true);
+  std::cout << "Waveform check (bare RC line, ideal driver): far end hits"
+               " the 10 % receiver threshold at "
+            << fmt(t10 * 1e12, 0) << " ps vs " << fmt(t50 * 1e12, 0)
+            << " ps for the 50 % full-swing point — sensing a small swing"
+               " early is where the delay advantage comes from.\n";
+  return 0;
+}

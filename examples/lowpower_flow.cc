@@ -1,0 +1,75 @@
+// Scenario: a low-power implementation flow for a register-bounded design
+// slice — the paper's Section 3.3 "multi-layered approach": clustered
+// voltage scaling, then dual-Vth, then re-sizing, with stage-by-stage
+// power reporting and a comparison against the sizing-first practice the
+// paper criticizes.
+#include <iostream>
+
+#include "circuit/generator.h"
+#include "opt/combined.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nano;
+  using util::fmt;
+
+  const auto& node = tech::nodeByFeature(70);
+  const circuit::Library lib(node);
+
+  // A 1000-gate slice of pipelined random logic at uniform drive 2 — the
+  // kind of netlist synthesis hands to the power-optimization flow.
+  util::Rng rng(31415);
+  circuit::GeneratorConfig cfg;
+  cfg.gates = 1000;
+  cfg.outputs = 64;
+  circuit::Netlist design = circuit::pipelinedLogic(lib, cfg, rng, 8);
+  for (int g : design.gateIds()) {
+    const auto& cell = design.node(g).cell;
+    design.replaceCell(g, lib.pick(cell.function, 2.0));
+  }
+
+  const auto timing = sta::analyze(design);
+  const auto power0 = power::computePower(design, 1.0 / timing.clockPeriod);
+  std::cout << "Design: " << design.gateCount() << " gates at " << node.featureNm
+            << " nm, clock " << fmt(timing.clockPeriod * 1e12, 0)
+            << " ps, starting power " << fmt(power0.total() * 1e6, 1)
+            << " uW (leakage " << fmt(100 * power0.leakage / power0.total(), 1)
+            << " %)\n";
+  std::cout << "Slack profile: "
+            << fmt(100 * sta::fractionOfPathsFasterThan(timing, design, 0.5), 0)
+            << " % of paths finish in under half the clock\n\n";
+
+  const opt::FlowResult flow = opt::runFlow(design, lib);
+  util::TextTable t({"stage", "power (uW)", "dynamic", "leakage",
+                     "converters", "low-Vdd", "high-Vth", "timing"});
+  t.addRow({"(start)", fmt(flow.powerBefore.total() * 1e6, 1),
+            fmt(flow.powerBefore.dynamic * 1e6, 1),
+            fmt(flow.powerBefore.leakage * 1e6, 2), "-", "0 %", "0 %", "met"});
+  for (const auto& s : flow.stages) {
+    t.addRow({s.name, fmt(s.power.total() * 1e6, 1),
+              fmt(s.power.dynamic * 1e6, 1), fmt(s.power.leakage * 1e6, 2),
+              fmt(s.power.levelConverter * 1e6, 2),
+              fmt(100 * s.fractionLowVdd, 0) + " %",
+              fmt(100 * s.fractionHighVth, 0) + " %",
+              s.timing.meetsTiming() ? "met" : "VIOLATED"});
+  }
+  t.print(std::cout);
+  std::cout << "Total saving: " << fmt(100 * flow.totalSavings(), 1)
+            << " % at unchanged clock.\n\n";
+
+  // The ordering experiment.
+  opt::FlowOptions sizeFirst;
+  sizeFirst.stages = {opt::FlowStage::Downsize, opt::FlowStage::DualVth,
+                      opt::FlowStage::MultiVdd};
+  const opt::FlowResult other = opt::runFlow(design, lib, sizeFirst);
+  std::cout << "Ordering matters (Section 3.3): Vdd-first reaches "
+            << fmt(100 * flow.totalSavings(), 1)
+            << " % total savings; sizing-first only "
+            << fmt(100 * other.totalSavings(), 1)
+            << " % — downsizing consumed the slack the quadratic Vdd"
+               " saving needed ("
+            << fmt(100 * other.stages.back().fractionLowVdd, 0)
+            << " % vs " << fmt(100 * flow.stages[0].fractionLowVdd, 0)
+            << " % of gates at Vdd,l).\n";
+  return 0;
+}

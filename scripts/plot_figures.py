@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Plot the paper-figure CSVs the bench binaries emit.
+
+Usage:
+    for b in build/bench/*; do (cd out && ../$b); done   # or run benches anywhere
+    python3 scripts/plot_figures.py [csv_dir] [out_dir]
+
+Reads fig1.csv .. fig5.csv, table2.csv, repeaters.csv, design_space.csv
+(whichever exist in csv_dir, default '.') and writes PNGs next to them.
+Requires matplotlib; exits gracefully without it.
+"""
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    cols = {name: [float(r[i]) for r in data] for i, name in enumerate(header)}
+    return cols
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else csv_dir
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; skipping plots")
+        return 0
+
+    def save(fig, name):
+        path = os.path.join(out_dir, name)
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        print("wrote", path)
+
+    def have(name):
+        return os.path.exists(os.path.join(csv_dir, name))
+
+    if have("fig1.csv"):
+        c = load(os.path.join(csv_dir, "fig1.csv"))
+        fig, ax = plt.subplots()
+        for key, label in [("r70nm_09V", "70 nm, 0.9 V"),
+                           ("r50nm_07V", "50 nm, 0.7 V"),
+                           ("r50nm_06V", "50 nm, 0.6 V")]:
+            ax.loglog(c["activity"], c[key], "o-", label=label)
+        ax.set_xlabel("switching activity")
+        ax.set_ylabel("Pstatic / Pdynamic")
+        ax.set_title("Figure 1 (85 C)")
+        ax.legend()
+        ax.grid(True, which="both", alpha=0.3)
+        save(fig, "fig1.png")
+
+    if have("fig2.csv"):
+        c = load(os.path.join(csv_dir, "fig2.csv"))
+        fig, ax1 = plt.subplots()
+        ax1.plot(c["node_nm"], c["ion_gain_pct"], "o-", color="tab:blue",
+                 label="Ion gain, dVth=-100 mV (%)")
+        ax1.set_xlabel("technology node (nm)")
+        ax1.set_ylabel("Ion gain (%)", color="tab:blue")
+        ax1.invert_xaxis()
+        ax2 = ax1.twinx()
+        ax2.semilogy(c["node_nm"], c["ioff_penalty"], "s--", color="tab:red",
+                     label="Ioff penalty for +20% Ion")
+        ax2.set_ylabel("Ioff penalty (x)", color="tab:red")
+        ax1.set_title("Figure 2: dual-Vth scalability")
+        save(fig, "fig2.png")
+
+    if have("fig3.csv"):
+        c = load(os.path.join(csv_dir, "fig3.csv"))
+        fig, ax = plt.subplots()
+        for key, label in [("delay_const", "constant Vth"),
+                           ("delay_scaled", "scaled Vth (Pstat const)"),
+                           ("delay_conservative", "conservative")]:
+            ax.plot(c["vdd"], c[key], "o-", label=label)
+        ax.set_xlabel("Vdd (V)")
+        ax.set_ylabel("normalized delay")
+        ax.set_title("Figure 3 (35 nm)")
+        ax.legend()
+        ax.grid(alpha=0.3)
+        save(fig, "fig3.png")
+
+    if have("fig4.csv"):
+        c = load(os.path.join(csv_dir, "fig4.csv"))
+        fig, ax = plt.subplots()
+        for key, label in [("ratio_const", "constant Vth"),
+                           ("ratio_scaled", "scaled Vth (Pstat const)"),
+                           ("ratio_conservative", "conservative")]:
+            ax.semilogy(c["vdd"], c[key], "o-", label=label)
+        ax.axhline(10.0, color="gray", ls=":", label="ITRS 10x cap")
+        ax.set_xlabel("Vdd (V)")
+        ax.set_ylabel("Pdynamic / Pstatic")
+        ax.set_title("Figure 4 (35 nm, activity 0.1)")
+        ax.legend()
+        ax.grid(alpha=0.3, which="both")
+        save(fig, "fig4.png")
+
+    if have("fig5.csv"):
+        c = load(os.path.join(csv_dir, "fig5.csv"))
+        fig, ax = plt.subplots()
+        ax.semilogy(c["node_nm"], c["w_over_min_minpitch"], "o-",
+                    label="minimum bump pitch")
+        ax.semilogy(c["node_nm"], c["w_over_min_itrs"], "s--",
+                    label="ITRS pad counts")
+        ax.set_xlabel("technology node (nm)")
+        ax.set_ylabel("rail width / minimum width")
+        ax.invert_xaxis()
+        ax.set_title("Figure 5: IR-drop rail sizing")
+        ax.legend()
+        ax.grid(alpha=0.3, which="both")
+        save(fig, "fig5.png")
+
+    if have("design_space.csv"):
+        c = load(os.path.join(csv_dir, "design_space.csv"))
+        fig, ax = plt.subplots()
+        sc = ax.scatter(c["vdd"], c["vth"],
+                        c=[min(p, 3.0) for p in c["ptotal_norm"]],
+                        cmap="viridis")
+        fig.colorbar(sc, label="total power (norm, clipped at 3)")
+        ax.set_xlabel("Vdd (V)")
+        ax.set_ylabel("design Vth (V)")
+        ax.set_title("(Vdd, Vth) design space, 35 nm")
+        save(fig, "design_space.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+#include "circuit/cell.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace nano::circuit {
+
+using namespace nano::units;
+
+int faninOf(CellFunction f) {
+  switch (f) {
+    case CellFunction::Inv:
+    case CellFunction::Buf:
+    case CellFunction::LevelConverter:
+      return 1;
+    case CellFunction::Nand2:
+    case CellFunction::Nor2:
+    case CellFunction::Xor2:
+      return 2;
+    case CellFunction::Nand3:
+    case CellFunction::Nor3:
+      return 3;
+  }
+  throw std::logic_error("faninOf: bad function");
+}
+
+double logicalEffortOf(CellFunction f) {
+  switch (f) {
+    case CellFunction::Inv: return 1.0;
+    case CellFunction::Buf: return 1.0;
+    case CellFunction::Nand2: return 4.0 / 3.0;
+    case CellFunction::Nand3: return 5.0 / 3.0;
+    case CellFunction::Nor2: return 5.0 / 3.0;
+    case CellFunction::Nor3: return 7.0 / 3.0;
+    case CellFunction::Xor2: return 2.0;
+    case CellFunction::LevelConverter: return 1.5;
+  }
+  throw std::logic_error("logicalEffortOf: bad function");
+}
+
+double parasiticOf(CellFunction f) {
+  switch (f) {
+    case CellFunction::Inv: return 1.0;
+    case CellFunction::Buf: return 2.0;
+    case CellFunction::Nand2: return 2.0;
+    case CellFunction::Nand3: return 3.0;
+    case CellFunction::Nor2: return 2.0;
+    case CellFunction::Nor3: return 3.0;
+    case CellFunction::Xor2: return 4.0;
+    // Cross-coupled pull-up fights the input: slow (~3 inverter parasitics,
+    // giving the ~2 FO4 conversion penalty quoted in multi-Vdd studies).
+    case CellFunction::LevelConverter: return 6.0;
+  }
+  throw std::logic_error("parasiticOf: bad function");
+}
+
+double leakageFactorOf(CellFunction f) {
+  switch (f) {
+    case CellFunction::Inv: return 1.0;
+    case CellFunction::Buf: return 1.8;
+    case CellFunction::Nand2: return 0.7;   // stacked NMOS off-state
+    case CellFunction::Nand3: return 0.55;
+    case CellFunction::Nor2: return 0.8;
+    case CellFunction::Nor3: return 0.7;
+    case CellFunction::Xor2: return 1.6;
+    case CellFunction::LevelConverter: return 1.5;
+  }
+  throw std::logic_error("leakageFactorOf: bad function");
+}
+
+const char* nameOf(CellFunction f) {
+  switch (f) {
+    case CellFunction::Inv: return "INV";
+    case CellFunction::Buf: return "BUF";
+    case CellFunction::Nand2: return "NAND2";
+    case CellFunction::Nand3: return "NAND3";
+    case CellFunction::Nor2: return "NOR2";
+    case CellFunction::Nor3: return "NOR3";
+    case CellFunction::Xor2: return "XOR2";
+    case CellFunction::LevelConverter: return "LVLCONV";
+  }
+  throw std::logic_error("nameOf: bad function");
+}
+
+double Cell::delay(double loadCap) const {
+  return 0.69 * driveResistance * (loadCap + selfCap);
+}
+
+double Cell::switchingEnergy(double loadCap) const {
+  return (loadCap + selfCap) * vdd * vdd;
+}
+
+CellCharacterizer::CellCharacterizer(const tech::TechNode& node, double vthLow,
+                                     double vthHigh, double vddHigh,
+                                     double vddLow, double temperature)
+    : node_(&node),
+      vthLow_(vthLow),
+      vthHigh_(vthHigh),
+      vddHigh_(vddHigh),
+      vddLow_(vddLow),
+      temperature_(temperature) {
+  if (vddHigh <= 0 || vddLow <= 0 || vddLow > vddHigh) {
+    throw std::invalid_argument("CellCharacterizer: bad supplies");
+  }
+  if (vthHigh < vthLow) {
+    throw std::invalid_argument("CellCharacterizer: vthHigh < vthLow");
+  }
+}
+
+CellCharacterizer CellCharacterizer::forNode(const tech::TechNode& node,
+                                             double temperature) {
+  const double vthLow = device::solveVthForIon(node, node.ionTarget);
+  return CellCharacterizer(node, vthLow, vthLow + kDualVthOffset, node.vdd,
+                           kCvsVddLowRatio * node.vdd, temperature);
+}
+
+double CellCharacterizer::vddOf(VddDomain domain) const {
+  return domain == VddDomain::High ? vddHigh_ : vddLow_;
+}
+
+double CellCharacterizer::vthOf(VthClass cls) const {
+  return cls == VthClass::Low ? vthLow_ : vthHigh_;
+}
+
+Cell CellCharacterizer::characterize(CellFunction function, double drive,
+                                     VthClass vth, VddDomain domain) const {
+  if (drive <= 0) throw std::invalid_argument("characterize: drive <= 0");
+  const double vdd = vddOf(domain);
+  const double vthValue = vthOf(vth);
+
+  // Unit inverter at this corner. The Vth is specified at this operating
+  // supply (DIBL reference = vdd), matching how a library would be
+  // characterized per power domain.
+  const device::GateGeometry unitGeom{2.0, 4.0};
+  const device::InverterModel unit(*node_, vthValue, vdd, unitGeom,
+                                   temperature_);
+
+  const double reqN = 0.75 * vdd / unit.driveCurrentN();
+  const double reqP = 0.75 * vdd / unit.driveCurrentP();
+  const double unitR = 0.5 * (reqN + reqP);
+  const double unitCin = unit.inputCap();
+  const double unitCout = unit.outputCap();
+  const double drawnL = node_->featureNm * nm;
+  const double unitArea = (unit.wn() + unit.wp()) * 5.0 * drawnL;
+
+  Cell cell;
+  cell.function = function;
+  cell.vth = vth;
+  cell.vddDomain = domain;
+  cell.drive = drive;
+  cell.vdd = vdd;
+  cell.inputCap = logicalEffortOf(function) * drive * unitCin;
+  cell.driveResistance = unitR / drive;
+  cell.selfCap = parasiticOf(function) * drive * unitCout;
+  cell.leakage = leakageFactorOf(function) * drive * unit.leakagePower() *
+                 static_cast<double>(faninOf(function));
+  cell.area = unitArea * drive * (0.7 + 0.5 * faninOf(function));
+
+  cell.name = std::string(nameOf(function)) + "_X" +
+              std::to_string(drive).substr(0, 4) +
+              (vth == VthClass::High ? "_HVT" : "_LVT") +
+              (domain == VddDomain::Low ? "_VL" : "");
+  return cell;
+}
+
+}  // namespace nano::circuit

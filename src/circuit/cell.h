@@ -1,0 +1,103 @@
+// Standard-cell model: logic cells characterized from the compact device
+// model with logical-effort-style delay, energy and leakage. Cells carry
+// their Vth flavor and Vdd domain so the multi-Vdd / multi-Vth optimizers
+// (paper Sections 2.4, 3.2, 3.3) can swap them per gate.
+#pragma once
+
+#include <string>
+
+#include "device/gate_model.h"
+#include "tech/itrs.h"
+
+namespace nano::circuit {
+
+/// Logic function of a cell.
+enum class CellFunction {
+  Inv,
+  Buf,
+  Nand2,
+  Nand3,
+  Nor2,
+  Nor3,
+  Xor2,
+  LevelConverter,  ///< Vdd,l -> Vdd,h restoring stage (paper Section 2.4)
+};
+
+/// Number of logic inputs of a function.
+int faninOf(CellFunction function);
+/// Logical effort g (input cap per drive relative to an inverter).
+double logicalEffortOf(CellFunction function);
+/// Parasitic delay p in units of the inverter parasitic.
+double parasiticOf(CellFunction function);
+/// Leakage factor relative to an equal-drive inverter (series stacks leak
+/// less; wide NOR pull-ups leak more).
+double leakageFactorOf(CellFunction function);
+/// Short name, e.g. "NAND2".
+const char* nameOf(CellFunction function);
+
+/// Threshold flavor of a cell.
+enum class VthClass { Low, High };
+
+/// Supply domain of a cell in a multi-Vdd design.
+enum class VddDomain { High, Low };
+
+/// One characterized cell instance. Value type: gates own their cell, so
+/// on-the-fly generated sizes (paper Section 2.3) need no registry.
+struct Cell {
+  std::string name;
+  CellFunction function = CellFunction::Inv;
+  VthClass vth = VthClass::Low;
+  VddDomain vddDomain = VddDomain::High;
+  double drive = 1.0;           ///< strength, multiples of unit inverter
+  double vdd = 0.0;             ///< operating supply, V
+  double inputCap = 0.0;        ///< F per input
+  double driveResistance = 0.0; ///< ohm, effective switching resistance
+  double selfCap = 0.0;         ///< F at the output (diffusion)
+  double leakage = 0.0;         ///< W, state-averaged
+  double area = 0.0;            ///< m^2
+
+  [[nodiscard]] int fanin() const { return faninOf(function); }
+  /// Propagation delay driving `loadCap` (external), s.
+  [[nodiscard]] double delay(double loadCap) const;
+  /// Supply energy per output transition driving `loadCap`, J.
+  [[nodiscard]] double switchingEnergy(double loadCap) const;
+};
+
+/// Characterizes cells of a node at given operating corners.
+class CellCharacterizer {
+ public:
+  /// `vthLow`/`vthHigh`: NMOS thresholds of the two flavors, specified at
+  /// the node's nominal Vdd. Pass vthHigh <= vthLow + offset from
+  /// makeDualVth() or custom values.
+  CellCharacterizer(const tech::TechNode& node, double vthLow, double vthHigh,
+                    double vddHigh, double vddLow, double temperature = 300.0);
+
+  /// Default flavors for a node: low Vth meets the Ion target; high Vth is
+  /// +100 mV (the paper's dual-Vth offset). Vdd,l = 0.65 * Vdd,h (the CVS
+  /// optimum the paper quotes).
+  static CellCharacterizer forNode(const tech::TechNode& node,
+                                   double temperature = 300.0);
+
+  [[nodiscard]] const tech::TechNode& node() const { return *node_; }
+  [[nodiscard]] double vddOf(VddDomain domain) const;
+  [[nodiscard]] double vthOf(VthClass cls) const;
+
+  /// Characterize one cell. `drive` may be fractional (on-the-fly sizes).
+  [[nodiscard]] Cell characterize(CellFunction function, double drive,
+                                  VthClass vth, VddDomain domain) const;
+
+ private:
+  const tech::TechNode* node_;
+  double vthLow_;
+  double vthHigh_;
+  double vddHigh_;
+  double vddLow_;
+  double temperature_;
+};
+
+/// The paper's dual-Vth offset: 100 mV between flavors (Section 3.2.2).
+inline constexpr double kDualVthOffset = 0.100;
+/// The paper's CVS low-supply ratio: Vdd,l ~ 0.65 * Vdd,h (Section 2.4).
+inline constexpr double kCvsVddLowRatio = 0.65;
+
+}  // namespace nano::circuit

@@ -1,0 +1,376 @@
+#include "circuit/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::circuit {
+
+namespace {
+
+CellFunction pickFunction(util::Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.22) return CellFunction::Inv;
+  if (r < 0.55) return CellFunction::Nand2;
+  if (r < 0.75) return CellFunction::Nor2;
+  if (r < 0.85) return CellFunction::Nand3;
+  if (r < 0.93) return CellFunction::Nor3;
+  return CellFunction::Xor2;
+}
+
+}  // namespace
+
+Netlist randomLogic(const Library& library, const GeneratorConfig& config,
+                    util::Rng& rng) {
+  if (config.inputs < 1 || config.gates < config.depth || config.depth < 1) {
+    throw std::invalid_argument("randomLogic: bad config");
+  }
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+
+  std::vector<std::vector<int>> byLevel(static_cast<std::size_t>(config.depth) + 1);
+  for (int i = 0; i < config.inputs; ++i) byLevel[0].push_back(nl.addInput());
+
+  // Level assignment: one gate per level first (so the target depth is
+  // realized), the rest drawn with a shallow-biased distribution.
+  std::vector<int> levelOf(static_cast<std::size_t>(config.gates));
+  for (int g = 0; g < config.gates; ++g) {
+    if (g < config.depth) {
+      levelOf[static_cast<std::size_t>(g)] = g + 1;
+    } else {
+      // Inverse-CDF draw from weight(l) ~ (1 - (l-1)/depth)^(bias-1).
+      const double u = rng.uniform();
+      const double x = 1.0 - std::pow(1.0 - u, 1.0 / config.shallowBias);
+      int level = 1 + static_cast<int>(x * config.depth);
+      levelOf[static_cast<std::size_t>(g)] = std::clamp(level, 1, config.depth);
+    }
+  }
+  std::sort(levelOf.begin(), levelOf.end());
+
+  // Prefer nodes that nothing consumes yet, so little logic dangles and
+  // the fanout distribution stays realistic.
+  auto pickFrom = [&](const std::vector<int>& pool) {
+    int choice = pool[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(pool.size()) - 1))];
+    for (int attempt = 0; attempt < 3 && !nl.node(choice).fanouts.empty();
+         ++attempt) {
+      choice = pool[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<int>(pool.size()) - 1))];
+    }
+    return choice;
+  };
+
+  for (int g = 0; g < config.gates; ++g) {
+    const int level = levelOf[static_cast<std::size_t>(g)];
+    const CellFunction fn = pickFunction(rng);
+    const Cell& cell = library.pick(fn, 1.0);
+    std::vector<int> fanins;
+    // First fanin from the previous level to realize the depth; remaining
+    // fanins from any shallower level.
+    fanins.push_back(pickFrom(byLevel[static_cast<std::size_t>(level - 1)]));
+    for (int k = 1; k < faninOf(fn); ++k) {
+      const int srcLevel = rng.uniformInt(0, level - 1);
+      fanins.push_back(pickFrom(byLevel[static_cast<std::size_t>(srcLevel)]));
+    }
+    const int id = nl.addGate(cell, std::move(fanins));
+    byLevel[static_cast<std::size_t>(level)].push_back(id);
+  }
+
+  // Outputs: a share tapped anywhere (short, slack-rich paths), the rest
+  // from the deepest levels (critical endpoints). Dangling gates become
+  // outputs too so no logic is dead.
+  const auto gates = nl.gateIds();
+  const int early = static_cast<int>(config.earlyOutputFraction * config.outputs);
+  for (int i = 0; i < early; ++i) {
+    nl.markOutput(gates[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(gates.size()) - 1))]);
+  }
+  for (int level = config.depth; level >= 1; --level) {
+    const auto& pool = byLevel[static_cast<std::size_t>(level)];
+    for (int id : pool) {
+      if (static_cast<int>(nl.outputs().size()) >= config.outputs) break;
+      nl.markOutput(id);
+    }
+    if (static_cast<int>(nl.outputs().size()) >= config.outputs) break;
+  }
+  for (int id : gates) {
+    if (nl.node(id).fanouts.empty()) nl.markOutput(id);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist pipelinedLogic(const Library& library, const GeneratorConfig& config,
+                       util::Rng& rng, int blocks) {
+  if (blocks < 1) throw std::invalid_argument("pipelinedLogic: blocks < 1");
+  const auto& node = library.characterizer().node();
+  Netlist out(defaultWireCapPerFanout(node),
+              4.0 * library.smallestInverterInputCap());
+
+  const int minDepth = std::max(2, config.depth / 4);
+  for (int b = 0; b < blocks; ++b) {
+    GeneratorConfig sub = config;
+    sub.depth = blocks == 1
+                    ? config.depth
+                    : minDepth + (config.depth - minDepth) * b / (blocks - 1);
+    sub.gates = std::max(sub.depth + 4, config.gates / blocks);
+    sub.inputs = std::max(4, config.inputs / blocks);
+    sub.outputs = std::max(2, config.outputs / blocks);
+    const Netlist block = randomLogic(library, sub, rng);
+
+    // Splice the block into the union netlist.
+    std::vector<int> map(static_cast<std::size_t>(block.nodeCount()), -1);
+    for (int i = 0; i < block.nodeCount(); ++i) {
+      const auto& n = block.node(i);
+      if (n.kind == Netlist::NodeKind::PrimaryInput) {
+        map[static_cast<std::size_t>(i)] = out.addInput();
+      } else {
+        std::vector<int> fanins;
+        fanins.reserve(n.fanins.size());
+        for (int f : n.fanins) {
+          fanins.push_back(map[static_cast<std::size_t>(f)]);
+        }
+        map[static_cast<std::size_t>(i)] = out.addGate(n.cell, std::move(fanins));
+      }
+    }
+    for (int o : block.outputs()) {
+      out.markOutput(map[static_cast<std::size_t>(o)]);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+Netlist rippleCarryAdder(const Library& library, int bits) {
+  if (bits < 1) throw std::invalid_argument("rippleCarryAdder: bits < 1");
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+  const Cell& nand = library.pick(CellFunction::Nand2, 1.0);
+
+  std::vector<int> a(static_cast<std::size_t>(bits));
+  std::vector<int> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.addInput();
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.addInput();
+  int carry = nl.addInput();
+
+  for (int i = 0; i < bits; ++i) {
+    // Classic 9-NAND2 full adder.
+    const int ai = a[static_cast<std::size_t>(i)];
+    const int bi = b[static_cast<std::size_t>(i)];
+    const int n1 = nl.addGate(nand, {ai, bi});
+    const int n2 = nl.addGate(nand, {ai, n1});
+    const int n3 = nl.addGate(nand, {bi, n1});
+    const int n4 = nl.addGate(nand, {n2, n3});  // a xor b
+    const int n5 = nl.addGate(nand, {n4, carry});
+    const int n6 = nl.addGate(nand, {n4, n5});
+    const int n7 = nl.addGate(nand, {carry, n5});
+    const int sum = nl.addGate(nand, {n6, n7});
+    const int cout = nl.addGate(nand, {n5, n1});
+    nl.markOutput(sum);
+    carry = cout;
+  }
+  nl.markOutput(carry);
+  nl.validate();
+  return nl;
+}
+
+Netlist koggeStoneAdder(const Library& library, int bits) {
+  if (bits < 1) throw std::invalid_argument("koggeStoneAdder: bits < 1");
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+  const Cell& nand = library.pick(CellFunction::Nand2, 1.0);
+  const Cell& inv = library.pick(CellFunction::Inv, 1.0);
+  const Cell& xorc = library.pick(CellFunction::Xor2, 1.0);
+
+  auto andGate = [&](int x, int y) {
+    return nl.addGate(inv, {nl.addGate(nand, {x, y})});
+  };
+  // x OR y = NAND(INV(x), INV(y)).
+  auto orGate = [&](int x, int y) {
+    return nl.addGate(nand, {nl.addGate(inv, {x}), nl.addGate(inv, {y})});
+  };
+
+  std::vector<int> a(static_cast<std::size_t>(bits));
+  std::vector<int> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.addInput();
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.addInput();
+  const int cin = nl.addInput();
+
+  // Bit-level propagate/generate. The carry-in acts as g[-1]: fold it in
+  // by treating position 0 specially below.
+  std::vector<int> p(static_cast<std::size_t>(bits));
+  std::vector<int> g(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        nl.addGate(xorc, {a[static_cast<std::size_t>(i)],
+                          b[static_cast<std::size_t>(i)]});
+    g[static_cast<std::size_t>(i)] = andGate(a[static_cast<std::size_t>(i)],
+                                             b[static_cast<std::size_t>(i)]);
+  }
+  // Fold cin: g0' = g0 OR (p0 AND cin).
+  std::vector<int> gPrefix = g;
+  std::vector<int> pPrefix = p;
+  gPrefix[0] = orGate(g[0], andGate(p[0], cin));
+
+  // Kogge-Stone prefix tree: at distance d, combine (G,P)[i] with
+  // (G,P)[i-d]: G' = G OR (P AND Glo); P' = P AND Plo.
+  for (int d = 1; d < bits; d *= 2) {
+    std::vector<int> gNext = gPrefix;
+    std::vector<int> pNext = pPrefix;
+    for (int i = d; i < bits; ++i) {
+      const int lo = i - d;
+      gNext[static_cast<std::size_t>(i)] =
+          orGate(gPrefix[static_cast<std::size_t>(i)],
+                 andGate(pPrefix[static_cast<std::size_t>(i)],
+                         gPrefix[static_cast<std::size_t>(lo)]));
+      pNext[static_cast<std::size_t>(i)] =
+          andGate(pPrefix[static_cast<std::size_t>(i)],
+                  pPrefix[static_cast<std::size_t>(lo)]);
+    }
+    gPrefix = std::move(gNext);
+    pPrefix = std::move(pNext);
+  }
+
+  // Sum_i = p_i XOR carry_{i-1}; carry_{i-1} = gPrefix[i-1] (cin folded).
+  for (int i = 0; i < bits; ++i) {
+    const int carryIn =
+        i == 0 ? cin : gPrefix[static_cast<std::size_t>(i - 1)];
+    nl.markOutput(nl.addGate(xorc, {p[static_cast<std::size_t>(i)], carryIn}));
+  }
+  nl.markOutput(gPrefix[static_cast<std::size_t>(bits - 1)]);  // carry out
+  nl.validate();
+  return nl;
+}
+
+Netlist arrayMultiplier(const Library& library, int bits) {
+  if (bits < 2) throw std::invalid_argument("arrayMultiplier: bits < 2");
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+  const Cell& nand = library.pick(CellFunction::Nand2, 1.0);
+  const Cell& inv = library.pick(CellFunction::Inv, 1.0);
+
+  std::vector<int> a(static_cast<std::size_t>(bits));
+  std::vector<int> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = nl.addInput();
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = nl.addInput();
+
+  auto andGate = [&](int x, int y) {
+    return nl.addGate(inv, {nl.addGate(nand, {x, y})});
+  };
+  // 9-NAND full adder (same decomposition as rippleCarryAdder).
+  auto fullAdder = [&](int x, int y, int cin) {
+    const int n1 = nl.addGate(nand, {x, y});
+    const int n2 = nl.addGate(nand, {x, n1});
+    const int n3 = nl.addGate(nand, {y, n1});
+    const int n4 = nl.addGate(nand, {n2, n3});
+    const int n5 = nl.addGate(nand, {n4, cin});
+    const int n6 = nl.addGate(nand, {n4, n5});
+    const int n7 = nl.addGate(nand, {cin, n5});
+    const int sum = nl.addGate(nand, {n6, n7});
+    const int cout = nl.addGate(nand, {n5, n1});
+    return std::pair<int, int>{sum, cout};
+  };
+  // Half adder: sum = XOR via 4 NAND, carry = AND.
+  auto halfAdder = [&](int x, int y) {
+    const int n1 = nl.addGate(nand, {x, y});
+    const int n2 = nl.addGate(nand, {x, n1});
+    const int n3 = nl.addGate(nand, {y, n1});
+    const int sum = nl.addGate(nand, {n2, n3});
+    const int carry = nl.addGate(inv, {n1});
+    return std::pair<int, int>{sum, carry};
+  };
+
+  // Row 0: partial products a_i * b_0. Bit 0 is product bit 0; the rest
+  // seed the running accumulator `acc`, where acc[i] holds weight j+i at
+  // the start of row j.
+  {
+    std::vector<int> pp0(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+      pp0[static_cast<std::size_t>(i)] =
+          andGate(a[static_cast<std::size_t>(i)], b[0]);
+    }
+    nl.markOutput(pp0[0]);
+    std::vector<int> acc(pp0.begin() + 1, pp0.end());
+
+    for (int j = 1; j < bits; ++j) {
+      std::vector<int> pp(static_cast<std::size_t>(bits));
+      for (int i = 0; i < bits; ++i) {
+        pp[static_cast<std::size_t>(i)] = andGate(
+            a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]);
+      }
+      // Ripple row: sum pp[i] + acc[i] + carry at weight j+i.
+      std::vector<int> sums(static_cast<std::size_t>(bits));
+      int carry = -1;
+      for (int i = 0; i < bits; ++i) {
+        const int x = pp[static_cast<std::size_t>(i)];
+        const int y =
+            i < static_cast<int>(acc.size()) ? acc[static_cast<std::size_t>(i)]
+                                             : -1;
+        if (y < 0 && carry < 0) {
+          sums[static_cast<std::size_t>(i)] = x;
+        } else if (y < 0 || carry < 0) {
+          const auto [s, c] = halfAdder(x, y < 0 ? carry : y);
+          sums[static_cast<std::size_t>(i)] = s;
+          carry = c;
+        } else {
+          const auto [s, c] = fullAdder(x, y, carry);
+          sums[static_cast<std::size_t>(i)] = s;
+          carry = c;
+        }
+      }
+      nl.markOutput(sums[0]);  // product bit j
+      acc.assign(sums.begin() + 1, sums.end());
+      if (carry >= 0) acc.push_back(carry);  // weight j+bits
+      if (j == bits - 1) {
+        for (int id : acc) nl.markOutput(id);  // product bits j+1..2N-1
+      }
+    }
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist inverterChain(const Library& library, int length, double drive) {
+  if (length < 1) throw std::invalid_argument("inverterChain: length < 1");
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+  const Cell& inv = library.pick(CellFunction::Inv, drive);
+  int prev = nl.addInput();
+  for (int i = 0; i < length; ++i) prev = nl.addGate(inv, {prev});
+  nl.markOutput(prev);
+  nl.validate();
+  return nl;
+}
+
+Netlist bufferTree(const Library& library, int leaves, int branching) {
+  if (leaves < 1 || branching < 2) {
+    throw std::invalid_argument("bufferTree: bad shape");
+  }
+  const auto& node = library.characterizer().node();
+  Netlist nl(defaultWireCapPerFanout(node),
+             4.0 * library.smallestInverterInputCap());
+  const Cell& buf = library.pick(CellFunction::Buf, 2.0);
+  std::vector<int> frontier = {nl.addInput()};
+  while (static_cast<int>(frontier.size()) < leaves) {
+    std::vector<int> next;
+    for (int id : frontier) {
+      for (int k = 0; k < branching &&
+                      static_cast<int>(next.size() + frontier.size()) <= leaves * branching;
+           ++k) {
+        next.push_back(nl.addGate(buf, {id}));
+      }
+    }
+    frontier = std::move(next);
+  }
+  frontier.resize(static_cast<std::size_t>(leaves));
+  for (int id : frontier) nl.markOutput(id);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace nano::circuit

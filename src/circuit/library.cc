@@ -1,0 +1,79 @@
+#include "circuit/library.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nano::circuit {
+
+namespace {
+CellCharacterizer makeCharacterizer(const tech::TechNode& node,
+                                    const LibraryConfig& config,
+                                    double temperature) {
+  const double vthLow = device::solveVthForIon(node, node.ionTarget);
+  return CellCharacterizer(node, vthLow, vthLow + config.vthOffset, node.vdd,
+                           config.vddLowRatio * node.vdd, temperature);
+}
+}  // namespace
+
+Library::Library(const tech::TechNode& node, LibraryConfig config,
+                 double temperature)
+    : charzr_(makeCharacterizer(node, config, temperature)),
+      config_(std::move(config)) {
+  if (config_.driveStrengths.empty() || config_.functions.empty()) {
+    throw std::invalid_argument("Library: empty config");
+  }
+  std::sort(config_.driveStrengths.begin(), config_.driveStrengths.end());
+  std::vector<VthClass> vths = {VthClass::Low};
+  if (config_.dualVth) vths.push_back(VthClass::High);
+  std::vector<VddDomain> domains = {VddDomain::High};
+  if (config_.dualVdd) domains.push_back(VddDomain::Low);
+
+  for (CellFunction fn : config_.functions) {
+    for (VthClass vth : vths) {
+      for (VddDomain dom : domains) {
+        for (double drive : config_.driveStrengths) {
+          cells_.push_back(charzr_.characterize(fn, drive, vth, dom));
+        }
+      }
+    }
+  }
+}
+
+const Cell& Library::pick(CellFunction function, double minDrive, VthClass vth,
+                          VddDomain domain) const {
+  const Cell* best = nullptr;     // smallest with drive >= minDrive
+  const Cell* largest = nullptr;  // fallback
+  for (const Cell& c : cells_) {
+    if (c.function != function || c.vth != vth || c.vddDomain != domain) continue;
+    if (!largest || c.drive > largest->drive) largest = &c;
+    if (c.drive >= minDrive && (!best || c.drive < best->drive)) best = &c;
+  }
+  if (best) return *best;
+  if (largest) return *largest;
+  throw std::out_of_range("Library::pick: corner not in library");
+}
+
+Cell Library::recorner(const Cell& cell, VthClass vth, VddDomain domain) const {
+  return charzr_.characterize(cell.function, cell.drive, vth, domain);
+}
+
+Cell Library::generateCustom(CellFunction function, double exactDrive,
+                             VthClass vth, VddDomain domain) const {
+  return charzr_.characterize(function, exactDrive, vth, domain);
+}
+
+double Library::smallestInverterInputCap() const {
+  double best = std::numeric_limits<double>::max();
+  for (const Cell& c : cells_) {
+    if (c.function == CellFunction::Inv && c.vddDomain == VddDomain::High) {
+      best = std::min(best, c.inputCap);
+    }
+  }
+  if (best == std::numeric_limits<double>::max()) {
+    throw std::out_of_range("Library: no inverter");
+  }
+  return best;
+}
+
+}  // namespace nano::circuit

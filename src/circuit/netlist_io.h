@@ -1,0 +1,32 @@
+// Plain-text netlist serialization. A small, line-oriented format so
+// designs can be saved, diffed and reloaded; cells are stored as their
+// (function, drive, Vth, Vdd-domain) corner and re-characterized against a
+// library on load.
+//
+//   # comment
+//   netlist wirecap <F/fanout> outload <F>
+//   input <id>
+//   gate <id> <FUNCTION> drive <x> vth <low|high> vdd <high|low> fanins <id...>
+//   output <id>
+//
+// Node ids must appear in topological order (inputs/gates before use),
+// matching the in-memory construction discipline.
+#pragma once
+
+#include <iosfwd>
+
+#include "circuit/library.h"
+#include "circuit/netlist.h"
+
+namespace nano::circuit {
+
+/// Serialize `netlist` to `os`.
+void writeNetlist(std::ostream& os, const Netlist& netlist);
+
+/// Parse a netlist from `is`, re-characterizing every cell with
+/// `library`'s characterizer (exact drives are honored via on-the-fly
+/// generation). Throws std::runtime_error with a line number on malformed
+/// input.
+Netlist readNetlist(std::istream& is, const Library& library);
+
+}  // namespace nano::circuit

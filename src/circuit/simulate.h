@@ -1,0 +1,41 @@
+// Bit-parallel logic simulation: evaluate a netlist's boolean function on
+// 64 input patterns at once. Powers functional verification — that the
+// generated adders/multipliers actually compute, that the optimizers only
+// change implementation (never logic), and that serialization round-trips
+// are exact — and provides measured switching activity to cross-check the
+// probabilistic propagation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "util/rng.h"
+
+namespace nano::circuit {
+
+/// 64 parallel boolean samples per node.
+using Word = std::uint64_t;
+
+/// Evaluate every node for the given primary-input words (one Word per
+/// input, in input order). Returns one Word per node.
+std::vector<Word> evaluate(const Netlist& netlist,
+                           const std::vector<Word>& inputs);
+
+/// Output words (netlist.outputs() order) for the given inputs.
+std::vector<Word> evaluateOutputs(const Netlist& netlist,
+                                  const std::vector<Word>& inputs);
+
+/// True when the two netlists compute identical outputs on `rounds` x 64
+/// random patterns (they must agree in input and output counts).
+/// Monte-Carlo equivalence: sound for disproof, probabilistic for proof.
+bool randomlyEquivalent(const Netlist& a, const Netlist& b, util::Rng& rng,
+                        int rounds = 64);
+
+/// Measured per-node switching activity (transitions per pattern) over
+/// `rounds` x 64 random patterns with input toggle probability
+/// `piActivity`; cross-checks power::propagateActivity.
+std::vector<double> measureActivity(const Netlist& netlist, util::Rng& rng,
+                                    double piActivity = 0.5, int rounds = 64);
+
+}  // namespace nano::circuit

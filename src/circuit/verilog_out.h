@@ -1,0 +1,25 @@
+// Structural Verilog export: emits a gate-level module using generic
+// primitives (one module per cell corner name), so designs built or
+// optimized here can be inspected with standard netlist tooling.
+// Export-only; the text netlist format (netlist_io.h) is the round-trip
+// path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.h"
+
+namespace nano::circuit {
+
+/// Write `netlist` as a structural Verilog module named `moduleName`.
+/// Primary inputs become input ports in0..inN-1; outputs out0..outM-1.
+/// Each gate instantiates a module named after its cell (sanitized), with
+/// ports (y, a[, b[, c]]).
+void writeVerilog(std::ostream& os, const Netlist& netlist,
+                  const std::string& moduleName = "design");
+
+/// The sanitized primitive name used for a cell (exposed for tests).
+std::string verilogCellName(const Cell& cell);
+
+}  // namespace nano::circuit

@@ -1,0 +1,51 @@
+// Per-node design analysis rollup: one call that characterizes a roadmap
+// node end to end — device corner, gate speed, MPU power budget, packaging
+// requirement, global wiring cost, and power-delivery picture. The
+// "quickstart" view of the library.
+#pragma once
+
+#include "interconnect/global_wiring.h"
+#include "powergrid/irdrop.h"
+#include "powergrid/transient.h"
+#include "tech/itrs.h"
+#include "thermal/package.h"
+
+namespace nano::core {
+
+/// End-to-end summary of one technology node.
+struct NodeSummary {
+  const tech::TechNode* node = nullptr;
+
+  // Device corner (NMOS meeting the Ion target at nominal Vdd).
+  double vthRequired = 0.0;   ///< V
+  double ionUaUm = 0.0;       ///< uA/um
+  double ioffNaUm = 0.0;      ///< nA/um at 25 C
+  double ioffHotNaUm = 0.0;   ///< nA/um at 85 C
+
+  // Gate speed.
+  double fo4DelayPs = 0.0;
+  double fo4PerCycle = 0.0;   ///< FO4 delays per local clock cycle
+
+  // Power budget.
+  double maxPowerW = 0.0;
+  double supplyCurrentA = 0.0;
+  double standbyCurrentBudgetA = 0.0;  ///< at the ITRS 10 % static cap
+
+  // Packaging.
+  double thetaJaRequired = 0.0;
+  const thermal::PackagingSolution* packaging = nullptr;  ///< cheapest fit
+  double coolingCostUsd = 0.0;
+
+  // Global wiring.
+  interconnect::GlobalWiringReport wiring;
+
+  // Power delivery.
+  powergrid::IrDropReport gridMinPitch;
+  powergrid::IrDropReport gridItrs;
+  powergrid::TransientReport wakeup;
+};
+
+/// Characterize one node (feature size in nm, on the roadmap).
+NodeSummary summarizeNode(int featureNm);
+
+}  // namespace nano::core

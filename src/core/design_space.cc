@@ -1,0 +1,155 @@
+#include "core/design_space.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "device/gate_model.h"
+#include "device/mosfet.h"
+#include "util/numeric.h"
+
+namespace nano::core {
+
+namespace {
+
+/// Nominal-corner reference shared by all points of one exploration.
+struct Reference {
+  const tech::TechNode* node = nullptr;
+  double vdd0 = 0.0;
+  double vth0 = 0.0;
+  double loadCap = 0.0;
+  double widthEff = 0.0;
+  double freq = 0.0;
+  double activity = 0.0;
+  double delay0 = 0.0;
+  double pdyn0 = 0.0;
+  double pstat0 = 0.0;
+};
+
+device::Mosfet deviceAt(const Reference& ref, double vthDesign) {
+  device::MosfetParams p =
+      device::Mosfet::fromNode(*ref.node, vthDesign).params();
+  p.vddReference = ref.vdd0;  // Vth specified at nominal; DIBL below it
+  return device::Mosfet(p);
+}
+
+double delayAt(const Reference& ref, double vdd, double vthDesign) {
+  const device::Mosfet dev = deviceAt(ref, vthDesign);
+  return ref.loadCap * vdd / dev.ionSelfConsistent(vdd, vdd);
+}
+
+double pdynAt(const Reference& ref, double vdd) {
+  return ref.activity * ref.loadCap * vdd * vdd * ref.freq;
+}
+
+double pstatAt(const Reference& ref, double vdd, double vthDesign) {
+  const device::Mosfet dev = deviceAt(ref, vthDesign);
+  return vdd * dev.ioff(vdd) * ref.widthEff;
+}
+
+Reference makeReference(const DesignSpaceOptions& options) {
+  Reference ref;
+  ref.node = &tech::nodeByFeature(options.nodeNm);
+  ref.vdd0 = ref.node->vdd;
+  ref.vth0 = device::solveVthForIon(*ref.node, ref.node->ionTarget);
+  const device::InverterModel inv(*ref.node, ref.vth0, ref.vdd0);
+  ref.loadCap = 4.0 * inv.inputCap() +
+                ref.node->localWireCapPerM * ref.node->avgLocalWireLength +
+                inv.outputCap();
+  ref.widthEff = 0.5 * (inv.wn() + device::kPmosCurrentFactor * inv.wp());
+  ref.freq = ref.node->clockLocal;
+  ref.activity = options.activity;
+  ref.delay0 = delayAt(ref, ref.vdd0, ref.vth0);
+  ref.pdyn0 = pdynAt(ref, ref.vdd0);
+  ref.pstat0 = pstatAt(ref, ref.vdd0, ref.vth0);
+  return ref;
+}
+
+OperatingPoint evaluate(const Reference& ref, double vdd, double vthDesign) {
+  OperatingPoint pt;
+  pt.vdd = vdd;
+  pt.vthDesign = vthDesign;
+  pt.delayNorm = delayAt(ref, vdd, vthDesign) / ref.delay0;
+  const double pdyn = pdynAt(ref, vdd);
+  const double pstat = pstatAt(ref, vdd, vthDesign);
+  pt.pdynNorm = pdyn / ref.pdyn0;
+  pt.pstatNorm = pstat / ref.pstat0;
+  pt.ptotalNorm = (pdyn + pstat) / (ref.pdyn0 + ref.pstat0);
+  pt.staticFraction = pstat / (pdyn + pstat);
+  return pt;
+}
+
+}  // namespace
+
+OperatingPoint evaluatePoint(const DesignSpaceOptions& options, double vdd,
+                             double vthDesign) {
+  if (vdd <= 0) throw std::invalid_argument("evaluatePoint: vdd <= 0");
+  return evaluate(makeReference(options), vdd, vthDesign);
+}
+
+std::vector<OperatingPoint> exploreDesignSpace(
+    const DesignSpaceOptions& options) {
+  if (options.vddSteps < 2 || options.vthSteps < 2) {
+    throw std::invalid_argument("exploreDesignSpace: need >= 2 steps");
+  }
+  const Reference ref = makeReference(options);
+  std::vector<OperatingPoint> grid;
+  grid.reserve(static_cast<std::size_t>(options.vddSteps) *
+               static_cast<std::size_t>(options.vthSteps));
+  for (double vdd : util::linspace(options.vddMin, ref.vdd0, options.vddSteps)) {
+    for (double vth :
+         util::linspace(options.vthMin, options.vthMax, options.vthSteps)) {
+      grid.push_back(evaluate(ref, vdd, vth));
+    }
+  }
+  return grid;
+}
+
+OperatingPoint optimalPoint(const DesignSpaceOptions& options,
+                            double delayTarget, double maxStaticFraction) {
+  if (delayTarget < 1e-3) {
+    throw std::invalid_argument("optimalPoint: bad delay target");
+  }
+  if (maxStaticFraction <= 0 || maxStaticFraction > 1.0) {
+    throw std::invalid_argument("optimalPoint: bad static cap");
+  }
+  const Reference ref = makeReference(options);
+
+  // For a fixed Vdd, the fastest admissible Vth is the one meeting the
+  // delay target exactly (delay is monotone increasing in Vth); total
+  // power at fixed Vdd is then minimized by the HIGHEST Vth that still
+  // meets timing (static power falls, dynamic unchanged).
+  auto bestAtVdd = [&](double vdd) -> OperatingPoint {
+    auto delayErr = [&](double vth) {
+      return delayAt(ref, vdd, vth) / ref.delay0 - delayTarget;
+    };
+    OperatingPoint pt;
+    pt.ptotalNorm = std::numeric_limits<double>::infinity();
+    // If even the lowest Vth misses the target, Vdd is infeasible.
+    if (delayErr(options.vthMin) > 0.0) return pt;
+    double vth = options.vthMax;
+    if (delayErr(options.vthMax) > 0.0) {
+      vth = util::brent(delayErr, options.vthMin, options.vthMax, 1e-9).x;
+    }
+    OperatingPoint candidate = evaluate(ref, vdd, vth);
+    // The chosen Vth is the highest meeting timing, which already
+    // minimizes the static share at this Vdd; if it still exceeds the
+    // cap, this Vdd is infeasible.
+    if (candidate.staticFraction > maxStaticFraction) return pt;
+    return candidate;
+  };
+
+  OperatingPoint best;
+  best.ptotalNorm = std::numeric_limits<double>::infinity();
+  for (double vdd :
+       util::linspace(options.vddMin, ref.vdd0, 4 * options.vddSteps)) {
+    const OperatingPoint pt = bestAtVdd(vdd);
+    if (pt.ptotalNorm < best.ptotalNorm) best = pt;
+  }
+  if (!std::isfinite(best.ptotalNorm)) {
+    throw std::runtime_error("optimalPoint: delay target infeasible");
+  }
+  return best;
+}
+
+}  // namespace nano::core

@@ -1,0 +1,268 @@
+#include "core/experiments.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/gate_model.h"
+#include "device/mosfet.h"
+#include "util/numeric.h"
+#include "util/units.h"
+
+namespace nano::core {
+
+using namespace nano::units;
+
+namespace {
+
+Table2Row makeTable2Row(const tech::TechNode& node, double vdd,
+                        double coxeRef, double coxPhysRef) {
+  Table2Row row;
+  row.nodeNm = node.featureNm;
+  row.vdd = vdd;
+
+  const double vth = device::solveVthForIon(node, node.ionTarget,
+                                            device::GateStack::Poly, vdd);
+  const device::Mosfet poly = [&] {
+    device::MosfetParams p = device::Mosfet::fromNode(node, vth).params();
+    p.vddReference = vdd;
+    return device::Mosfet(p);
+  }();
+  row.coxeNorm = poly.coxElectrical() / coxeRef;
+  row.coxPhysNorm = poly.coxPhysical() / coxPhysRef;
+  row.vthRequired = vth;
+  row.ioffNaUm = poly.ioff(vdd) / nA_per_um;
+
+  const double vthMetal = device::solveVthForIon(
+      node, node.ionTarget, device::GateStack::Metal, vdd);
+  device::MosfetParams pm =
+      device::Mosfet::fromNode(node, vthMetal, device::GateStack::Metal)
+          .params();
+  pm.vddReference = vdd;
+  row.vthMetal = vthMetal;
+  row.ioffMetalNaUm = device::Mosfet(pm).ioff(vdd) / nA_per_um;
+
+  row.ioffItrsNaUm = node.ioffItrs / nA_per_um;
+  return row;
+}
+
+}  // namespace
+
+Table2 computeTable2() {
+  Table2 table;
+  const auto& ref = tech::nodeByFeature(180);
+  const device::Mosfet refDev = device::Mosfet::fromNode(ref, 0.3);
+  const double coxeRef = refDev.coxElectrical();
+  const double coxPhysRef = refDev.coxPhysical();
+
+  // Paper Table 2 reference rows (Vth / Ioff / metal-gate Ioff).
+  const double paperVth[6] = {0.30, 0.29, 0.22, 0.14, 0.04, 0.11};
+  const double paperIoff[6] = {3, 4, 26, 210, 3205, 456};
+  const double paperIoffMetal[6] = {1, 1.4, 8.7, 55, 666, 103};
+
+  int i = 0;
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    Table2Row row = makeTable2Row(node, node.vdd, coxeRef, coxPhysRef);
+    row.paperVth = paperVth[i];
+    row.paperIoff = paperIoff[i];
+    row.paperIoffMetal = paperIoffMetal[i];
+    table.rows.push_back(row);
+    ++i;
+  }
+  const auto& n50 = tech::nodeByFeature(50);
+  table.row50At07 = makeTable2Row(n50, n50.vddAlternative, coxeRef, coxPhysRef);
+  table.row50At07.paperVth = 0.12;
+  table.row50At07.paperIoff = 432;
+  table.row50At07.paperIoffMetal = 100;
+
+  table.modelGrowth = table.rows.back().ioffNaUm / table.rows.front().ioffNaUm;
+  table.itrsGrowth =
+      table.rows.back().ioffItrsNaUm / table.rows.front().ioffItrsNaUm;
+  return table;
+}
+
+std::vector<Fig1Point> computeFigure1(int points) {
+  const double tHot = fromCelsius(85.0);
+  const auto& n70 = tech::nodeByFeature(70);
+  const auto& n50 = tech::nodeByFeature(50);
+  std::vector<Fig1Point> out;
+  for (double a : util::logspace(0.01, 0.5, points)) {
+    Fig1Point p;
+    p.activity = a;
+    p.ratio70nm09V = device::staticToDynamicRatio(n70, a, tHot);
+    p.ratio50nm07V =
+        device::staticToDynamicRatio(n50, a, tHot, n50.vddAlternative);
+    p.ratio50nm06V = device::staticToDynamicRatio(n50, a, tHot);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Fig2Point> computeFigure2() {
+  std::vector<Fig2Point> out;
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const double vthHigh = device::solveVthForIon(node, node.ionTarget);
+    const device::Mosfet high = device::Mosfet::fromNode(node, vthHigh);
+    const device::Mosfet low =
+        device::Mosfet::fromNode(node, vthHigh - 0.100);
+    const double ionHigh = high.ion();
+
+    Fig2Point p;
+    p.nodeNm = f;
+    p.ionGainPercent = 100.0 * (low.ion() / ionHigh - 1.0);
+
+    // Vth reduction needed for +20 % Ion, converted to an Ioff multiplier
+    // through Eq. (4).
+    const double vth20 =
+        device::solveVthForIon(node, 1.2 * node.ionTarget);
+    const double dvth = vthHigh - vth20;
+    p.ioffPenaltyFor20 = std::pow(10.0, dvth / node.subthresholdSwing);
+    out.push_back(p);
+  }
+  return out;
+}
+
+const char* policyName(VthPolicy policy) {
+  switch (policy) {
+    case VthPolicy::Constant: return "constant Vth";
+    case VthPolicy::ConstantPstatic: return "scaled Vth, Pstatic constant";
+    case VthPolicy::Conservative: return "conservatively scaled Vth";
+  }
+  throw std::logic_error("policyName: bad policy");
+}
+
+namespace {
+
+/// Shared context for the Figure 3/4 sweep on one node.
+struct Fig34Context {
+  const tech::TechNode* node;
+  double vdd0 = 0.0;
+  double vth0 = 0.0;       ///< design Vth at nominal Vdd
+  double pstat0 = 0.0;     ///< W, reference static power
+  double ioff0 = 0.0;      ///< A/m at nominal
+  double delay0 = 0.0;     ///< s (arbitrary load constant folded in)
+  double loadCap = 0.0;    ///< F, fixed FO4 + wire load
+  double widthEff = 0.0;   ///< m, leakage-effective width
+  double freq = 0.0;
+};
+
+device::Mosfet deviceAt(const Fig34Context& ctx, double vthDesign) {
+  device::MosfetParams p =
+      device::Mosfet::fromNode(*ctx.node, vthDesign).params();
+  p.vddReference = ctx.vdd0;  // Vth specified at nominal; DIBL applies below
+  return device::Mosfet(p);
+}
+
+double delayAt(const Fig34Context& ctx, double vdd, double vthDesign) {
+  const device::Mosfet dev = deviceAt(ctx, vthDesign);
+  const double ion = dev.ionSelfConsistent(vdd, vdd);
+  return ctx.loadCap * vdd / ion;  // k*C*V/I; the constant cancels
+}
+
+double pstatAt(const Fig34Context& ctx, double vdd, double vthDesign) {
+  const device::Mosfet dev = deviceAt(ctx, vthDesign);
+  return vdd * dev.ioff(vdd) * ctx.widthEff;
+}
+
+double vthForPolicy(const Fig34Context& ctx, VthPolicy policy, double vdd) {
+  switch (policy) {
+    case VthPolicy::Constant:
+      return ctx.vth0;
+    case VthPolicy::ConstantPstatic: {
+      // Vdd * Ioff(vth, vdd) == Vdd0 * Ioff0.
+      auto f = [&](double vth) {
+        return pstatAt(ctx, vdd, vth) - ctx.pstat0;
+      };
+      return util::bracketAndSolve(f, ctx.vth0 - 0.3, ctx.vth0 + 0.1, 40, 1e-9)
+          .x;
+    }
+    case VthPolicy::Conservative: {
+      // Ioff(vth, vdd) == Ioff0: Pstatic scales linearly with Vdd.
+      auto f = [&](double vth) {
+        return deviceAt(ctx, vth).ioff(vdd) - ctx.ioff0;
+      };
+      return util::bracketAndSolve(f, ctx.vth0 - 0.3, ctx.vth0 + 0.1, 40, 1e-9)
+          .x;
+    }
+  }
+  throw std::logic_error("vthForPolicy: bad policy");
+}
+
+Fig34Context makeContext(int nodeNm) {
+  Fig34Context ctx;
+  ctx.node = &tech::nodeByFeature(nodeNm);
+  ctx.vdd0 = ctx.node->vdd;
+  ctx.vth0 = device::solveVthForIon(*ctx.node, ctx.node->ionTarget);
+  const device::InverterModel inv(*ctx.node, ctx.vth0, ctx.vdd0);
+  ctx.loadCap = 4.0 * inv.inputCap() +
+                ctx.node->localWireCapPerM * ctx.node->avgLocalWireLength +
+                inv.outputCap();
+  ctx.widthEff = 0.5 * (inv.wn() + device::kPmosCurrentFactor * inv.wp());
+  ctx.freq = ctx.node->clockLocal;
+  ctx.ioff0 = deviceAt(ctx, ctx.vth0).ioff(ctx.vdd0);
+  ctx.pstat0 = pstatAt(ctx, ctx.vdd0, ctx.vth0);
+  ctx.delay0 = delayAt(ctx, ctx.vdd0, ctx.vth0);
+  return ctx;
+}
+
+}  // namespace
+
+std::vector<Fig34Point> computeFigure34(int nodeNm, int points,
+                                        double activity, double vddMin) {
+  const Fig34Context ctx = makeContext(nodeNm);
+  std::vector<Fig34Point> out;
+  for (double vdd : util::linspace(vddMin, ctx.vdd0, points)) {
+    Fig34Point pt;
+    pt.vdd = vdd;
+    for (std::size_t k = 0; k < kVthPolicies.size(); ++k) {
+      const double vth = vthForPolicy(ctx, kVthPolicies[k], vdd);
+      pt.vthDesign[k] = vth;
+      pt.delayNorm[k] = delayAt(ctx, vdd, vth) / ctx.delay0;
+      const double pdyn =
+          activity * ctx.loadCap * vdd * vdd * ctx.freq;
+      pt.pdynOverPstat[k] = pdyn / pstatAt(ctx, vdd, vth);
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+Section33Claims computeSection33Claims(double activity) {
+  const Fig34Context ctx = makeContext(35);
+  Section33Claims c;
+  const double vLow = 0.2;
+  c.delayRatioConstVthAt02 =
+      delayAt(ctx, vLow, ctx.vth0) / ctx.delay0;
+  const double vthScaled = vthForPolicy(ctx, VthPolicy::ConstantPstatic, vLow);
+  c.delayRatioScaledAt02 = delayAt(ctx, vLow, vthScaled) / ctx.delay0;
+  c.dynReductionAt02 = 1.0 - (vLow * vLow) / (ctx.vdd0 * ctx.vdd0);
+
+  // Vdd where Pdyn/Pstat hits 10 on the constant-Pstatic policy.
+  auto ratioMinus10 = [&](double vdd) {
+    const double vth = vthForPolicy(ctx, VthPolicy::ConstantPstatic, vdd);
+    const double pdyn = activity * ctx.loadCap * vdd * vdd * ctx.freq;
+    return pdyn / pstatAt(ctx, vdd, vth) - 10.0;
+  };
+  c.vddAtRatio10 = util::brent(ratioMinus10, 0.2, ctx.vdd0, 1e-6).x;
+  c.dynReductionAtRatio10 =
+      1.0 - (c.vddAtRatio10 * c.vddAtRatio10) / (ctx.vdd0 * ctx.vdd0);
+  return c;
+}
+
+std::vector<Fig5Row> computeFigure5(bool withMeshCrossCheck) {
+  powergrid::IrDropOptions options;
+  options.runMesh = withMeshCrossCheck;
+  std::vector<Fig5Row> out;
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    Fig5Row row;
+    row.nodeNm = f;
+    row.minPitch = powergrid::minPitchReport(node, options);
+    row.itrs = powergrid::itrsPitchReport(node, options);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace nano::core

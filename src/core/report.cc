@@ -1,0 +1,169 @@
+#include "core/report.h"
+
+#include "util/table.h"
+#include "util/units.h"
+
+namespace nano::core {
+
+using util::fmt;
+using util::TextTable;
+
+void printTable2(std::ostream& os, const Table2& table) {
+  os << "Table 2: analytical model results for Ioff scaling\n"
+     << "(Vth solved so that Ion = 750 uA/um; paper values in columns marked"
+        " 'paper')\n";
+  TextTable t({"node (nm)", "Vdd (V)", "Coxe (norm)", "Cox phys (norm)",
+               "Vth req (V)", "paper Vth", "Ioff (nA/um)", "paper Ioff",
+               "Ioff metal", "paper metal", "ITRS Ioff"});
+  auto addRow = [&t](const Table2Row& r) {
+    t.addRow({std::to_string(r.nodeNm), fmt(r.vdd, 2), fmt(r.coxeNorm, 2),
+              fmt(r.coxPhysNorm, 2), fmt(r.vthRequired, 3), fmt(r.paperVth, 2),
+              fmt(r.ioffNaUm, 1), fmt(r.paperIoff, 0), fmt(r.ioffMetalNaUm, 1),
+              fmt(r.paperIoffMetal, 1), fmt(r.ioffItrsNaUm, 0)});
+  };
+  for (const auto& r : table.rows) addRow(r);
+  t.addRule();
+  addRow(table.row50At07);
+  t.print(os);
+  os << "Model Ioff growth 180->35 nm: " << fmt(table.modelGrowth, 0)
+     << "x (paper: 152x); ITRS projection: " << fmt(table.itrsGrowth, 0)
+     << "x (paper: 23x)\n";
+}
+
+void printFigure1(std::ostream& os, const std::vector<Fig1Point>& series) {
+  os << "Figure 1: Pstatic / Pdynamic vs switching activity (FO4 inverter +"
+        " average wire, 85 C)\n";
+  TextTable t({"activity", "70nm @0.9V", "50nm @0.7V", "50nm @0.6V"});
+  for (const auto& p : series) {
+    t.addRow({fmt(p.activity, 3), fmt(p.ratio70nm09V, 3),
+              fmt(p.ratio50nm07V, 3), fmt(p.ratio50nm06V, 3)});
+  }
+  t.print(os);
+  os << "(paper: static power approaches/exceeds 10% of dynamic for"
+        " activities of 0.01-0.1)\n";
+}
+
+void printFigure2(std::ostream& os, const std::vector<Fig2Point>& series) {
+  os << "Figure 2: dual-Vth scalability\n";
+  TextTable t({"node (nm)", "Ion gain, dVth=-100mV (%)",
+               "Ioff penalty for +20% Ion (x)"});
+  for (const auto& p : series) {
+    t.addRow({std::to_string(p.nodeNm), fmt(p.ionGainPercent, 1),
+              fmt(p.ioffPenaltyFor20, 1)});
+  }
+  t.print(os);
+  os << "(paper: Ion gain grows with scaling; Ioff penalty falls from ~54x"
+        " at 180 nm to ~7x at 35 nm; published 130 nm-class data: 12-14%"
+        " gain)\n";
+}
+
+void printFigure3(std::ostream& os, const std::vector<Fig34Point>& series) {
+  os << "Figure 3: normalized delay vs Vdd at 35 nm (three Vth policies)\n";
+  TextTable t({"Vdd (V)", "constant Vth", "Vth (V)", "const-Pstatic", "Vth (V)",
+               "conservative", "Vth (V)"});
+  for (const auto& p : series) {
+    t.addRow({fmt(p.vdd, 2), fmt(p.delayNorm[0], 2), fmt(p.vthDesign[0], 3),
+              fmt(p.delayNorm[1], 2), fmt(p.vthDesign[1], 3),
+              fmt(p.delayNorm[2], 2), fmt(p.vthDesign[2], 3)});
+  }
+  t.print(os);
+  os << "(paper at 0.2 V: constant Vth 3.7x; scaled Vth < 1.3x)\n";
+}
+
+void printFigure4(std::ostream& os, const std::vector<Fig34Point>& series) {
+  os << "Figure 4: Pdynamic / Pstatic vs Vdd at 35 nm, activity 0.1\n";
+  TextTable t({"Vdd (V)", "constant Vth", "const-Pstatic", "conservative"});
+  for (const auto& p : series) {
+    t.addRow({fmt(p.vdd, 2), fmt(p.pdynOverPstat[0], 2),
+              fmt(p.pdynOverPstat[1], 2), fmt(p.pdynOverPstat[2], 2)});
+  }
+  t.print(os);
+  os << "(paper: the scaled-Vth ratio approaches 1 at 0.2 V; ratio 10 is"
+        " reached near Vdd = 0.44 V)\n";
+}
+
+void printFigure5(std::ostream& os, const std::vector<Fig5Row>& series) {
+  os << "Figure 5: IR-drop scaling (required power-rail width, normalized to"
+        " minimum top-level width)\n";
+  TextTable t({"node (nm)", "min pitch (um)", "W/Wmin", "routing %",
+               "ITRS pitch (um)", "W/Wmin (ITRS)", "routing % (ITRS)",
+               "Vdd bumps (ITRS)", "I/bump (A)"});
+  for (const auto& r : series) {
+    t.addRow({std::to_string(r.nodeNm),
+              fmt(r.minPitch.padPitch * 1e6, 0),
+              fmt(r.minPitch.widthOverMin, 1),
+              fmt(100 * (r.minPitch.routingFraction +
+                         powergrid::kLandingPadFraction), 1),
+              fmt(r.itrs.padPitch * 1e6, 0), fmt(r.itrs.widthOverMin, 1),
+              fmt(100 * r.itrs.routingFraction, 1),
+              std::to_string(r.itrs.vddBumpCount),
+              fmt(r.itrs.bumpCurrent, 2)});
+  }
+  t.print(os);
+  os << "(paper: ~16x at 35 nm with the minimum (80 um) pitch and <4% of"
+        " routing for the rails (+16% landing pads); with ITRS pad counts"
+        " (356 um effective pitch) the width explodes past 2000x)\n";
+}
+
+void printSection33Claims(std::ostream& os, const Section33Claims& c) {
+  os << "Section 3.3 headline claims (35 nm, nominal Vdd 0.6 V):\n";
+  TextTable t({"claim", "model", "paper"});
+  t.addRow({"delay at 0.2 V, constant Vth", fmt(c.delayRatioConstVthAt02, 2) + "x",
+            "3.7x"});
+  t.addRow({"delay at 0.2 V, Vth scaled (Pstatic const)",
+            fmt(c.delayRatioScaledAt02, 2) + "x", "< 1.3x"});
+  t.addRow({"dynamic power reduction at 0.2 V",
+            fmt(100 * c.dynReductionAt02, 0) + " %", "89 %"});
+  t.addRow({"Vdd where Pdyn/Pstat = 10", fmt(c.vddAtRatio10, 2) + " V",
+            "~0.44 V"});
+  t.addRow({"dynamic reduction at that Vdd",
+            fmt(100 * c.dynReductionAtRatio10, 0) + " %", "46 %"});
+  t.print(os);
+}
+
+void printNodeSummary(std::ostream& os, const NodeSummary& s) {
+  os << "=== " << s.node->featureNm << " nm node (" << s.node->year
+     << "), Vdd = " << fmt(s.node->vdd, 2) << " V ===\n";
+  TextTable t({"quantity", "value"});
+  t.addRow({"Vth for Ion target", fmt(s.vthRequired, 3) + " V"});
+  t.addRow({"Ion", fmt(s.ionUaUm, 0) + " uA/um"});
+  t.addRow({"Ioff (25 C / 85 C)",
+            fmt(s.ioffNaUm, 1) + " / " + fmt(s.ioffHotNaUm, 1) + " nA/um"});
+  t.addRow({"FO4 delay", fmt(s.fo4DelayPs, 1) + " ps"});
+  t.addRow({"FO4 per clock cycle", fmt(s.fo4PerCycle, 1)});
+  t.addRow({"max power / supply current",
+            fmt(s.maxPowerW, 0) + " W / " + fmt(s.supplyCurrentA, 0) + " A"});
+  t.addRow({"standby current budget (10% cap)",
+            fmt(s.standbyCurrentBudgetA, 1) + " A"});
+  t.addRow({"required theta_ja", fmt(s.thetaJaRequired, 3) + " K/W"});
+  t.addRow({"packaging", s.packaging->name + " ($" +
+                             fmt(s.coolingCostUsd, 0) + ")"});
+  t.addRow({"global repeaters", util::fmtSci(s.wiring.repeaterCount, 2)});
+  t.addRow({"global signaling power", fmt(s.wiring.power.total(), 1) + " W"});
+  t.addRow({"power rail width (min pitch)",
+            fmt(s.gridMinPitch.widthOverMin, 1) + "x min"});
+  t.addRow({"power rail width (ITRS pads)",
+            fmt(s.gridItrs.widthOverMin, 1) + "x min"});
+  t.addRow({"wake-up supply noise (ITRS bumps)",
+            fmt(1e3 * s.wakeup.noiseVoltage, 1) + " mV"});
+  t.print(os);
+}
+
+void printRoadmapComparison(std::ostream& os) {
+  os << "Roadmap comparison (all subsystems, one row per node):\n";
+  TextTable t({"node (nm)", "Vdd (V)", "Vth (V)", "Ioff (nA/um)", "FO4 (ps)",
+               "power (W)", "theta_ja", "repeaters", "global P (W)",
+               "rail W/Wmin", "wake noise (mV)"});
+  for (int f : tech::roadmapFeatures()) {
+    const NodeSummary s = summarizeNode(f);
+    t.addRow({std::to_string(f), fmt(s.node->vdd, 2), fmt(s.vthRequired, 3),
+              fmt(s.ioffNaUm, 1), fmt(s.fo4DelayPs, 1), fmt(s.maxPowerW, 0),
+              fmt(s.thetaJaRequired, 2), util::fmtSci(s.wiring.repeaterCount, 1),
+              fmt(s.wiring.power.total(), 0),
+              fmt(s.gridMinPitch.widthOverMin, 1),
+              fmt(1e3 * s.wakeup.noiseVoltage, 1)});
+  }
+  t.print(os);
+}
+
+}  // namespace nano::core

@@ -1,0 +1,26 @@
+// Shared printers for the experiment results: each renders a paper table
+// or figure as an ASCII table with the paper's reported values alongside
+// the model's. Used by the bench binaries and the examples.
+#pragma once
+
+#include <ostream>
+
+#include "core/analysis.h"
+#include "core/experiments.h"
+
+namespace nano::core {
+
+void printTable2(std::ostream& os, const Table2& table);
+void printFigure1(std::ostream& os, const std::vector<Fig1Point>& series);
+void printFigure2(std::ostream& os, const std::vector<Fig2Point>& series);
+void printFigure3(std::ostream& os, const std::vector<Fig34Point>& series);
+void printFigure4(std::ostream& os, const std::vector<Fig34Point>& series);
+void printFigure5(std::ostream& os, const std::vector<Fig5Row>& series);
+void printSection33Claims(std::ostream& os, const Section33Claims& claims);
+void printNodeSummary(std::ostream& os, const NodeSummary& summary);
+
+/// Side-by-side roadmap comparison: one row per node with the headline
+/// quantities of every subsystem (the "BACPAC view" of the roadmap).
+void printRoadmapComparison(std::ostream& os);
+
+}  // namespace nano::core

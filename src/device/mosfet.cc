@@ -1,0 +1,155 @@
+#include "device/mosfet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.h"
+#include "util/units.h"
+
+namespace nano::device {
+
+using namespace nano::units;
+
+namespace {
+constexpr double kPolyElectricalExtra = 7.0e-10;   // +7 A: inversion + GDE
+constexpr double kMetalElectricalExtra = 3.5e-10;  // +3.5 A: inversion only
+constexpr double kRoomTemperature = 300.0;
+}  // namespace
+
+Mosfet::Mosfet(const MosfetParams& params) : params_(params) {
+  if (params_.toxPhysical <= 0 || params_.leff <= 0) {
+    throw std::invalid_argument("Mosfet: non-positive geometry");
+  }
+  if (params_.temperature <= 0) {
+    throw std::invalid_argument("Mosfet: non-positive temperature");
+  }
+}
+
+Mosfet Mosfet::fromNode(const tech::TechNode& node, double vth, GateStack stack,
+                        double temperature) {
+  MosfetParams p;
+  p.toxPhysical = node.toxPhysical;
+  p.gateStack = stack;
+  p.leff = node.leff;
+  p.vthNominal = vth;
+  p.vddReference = node.vdd;
+  p.rsOhmM = node.rsSourceOhmM;
+  p.dibl = node.dibl;
+  p.swing300K = node.subthresholdSwing;
+  p.temperature = temperature;
+  return Mosfet(p);
+}
+
+double Mosfet::toxElectrical() const {
+  const double extra = params_.gateStack == GateStack::Metal
+                           ? kMetalElectricalExtra
+                           : kPolyElectricalExtra;
+  return params_.toxPhysical + extra;
+}
+
+double Mosfet::coxElectrical() const { return epsSiO2 / toxElectrical(); }
+
+double Mosfet::coxPhysical() const { return epsSiO2 / params_.toxPhysical; }
+
+double Mosfet::vthEffective(double vds) const {
+  if (vds < 0) vds = params_.vddReference;
+  const double tempShift =
+      params_.vthTempCo * (params_.temperature - kRoomTemperature);
+  // Below the reference drain bias the barrier is taller (less DIBL), so
+  // the effective threshold rises; above it, DIBL lowers the threshold.
+  return params_.vthNominal + tempShift +
+         params_.dibl * (params_.vddReference - vds);
+}
+
+double Mosfet::subthresholdSwing() const {
+  return params_.swing300K * params_.temperature / kRoomTemperature;
+}
+
+double Mosfet::mobility(double vgs) const {
+  // Universal mobility: Eeff ~= (Vgs + Vth) / (6 * Tox) for NMOS.
+  const double vth = vthEffective(params_.vddReference);
+  const double eeff = std::max(vgs + vth, 0.05) / (6.0 * toxElectrical());
+  const double mu0T =
+      params_.mu0 * std::pow(kRoomTemperature / params_.temperature, 1.5);
+  return mu0T /
+         (1.0 + std::pow(eeff / params_.e0Universal, params_.nuUniversal));
+}
+
+double Mosfet::esat(double vgs) const { return 2.0 * params_.vsat / mobility(vgs); }
+
+double Mosfet::smoothedOverdrive(double vgs, double vth) const {
+  // EKV interpolation: vgt_eff = 2*n*vt*ln(1 + exp((vgs-vth)/(2*n*vt))),
+  // with n*vt = S/ln(10). Squaring it in Eq. (3) reproduces the correct
+  // exp(vgt/(n*vt)) subthreshold slope.
+  const double nvt = subthresholdSwing() / std::log(10.0);
+  const double x = (vgs - vth) / (2.0 * nvt);
+  if (x > 30.0) return vgs - vth;  // avoid exp overflow; smoothing negligible
+  return 2.0 * nvt * std::log1p(std::exp(x));
+}
+
+double Mosfet::idsat0(double vgs, double vds) const {
+  if (vds < 0) vds = params_.vddReference;
+  const double vth = vthEffective(vds);
+  const double vgt = smoothedOverdrive(vgs, vth);
+  const double mu = mobility(vgs);
+  const double esatL = esat(vgs) * params_.leff;
+  const double cox = coxElectrical();
+  return (mu * cox / (2.0 * params_.leff)) * vgt * vgt / (1.0 + vgt / esatL);
+}
+
+double Mosfet::ionFirstOrder(double vgs) const {
+  const double i0 = idsat0(vgs);
+  const double vth = vthEffective(params_.vddReference);
+  const double vgt = smoothedOverdrive(vgs, vth);
+  const double esatL = esat(vgs) * params_.leff;
+  const double irs = i0 * params_.rsOhmM;
+  return i0 * (1.0 - 2.0 * irs / vgt + irs / (vgt + esatL));
+}
+
+double Mosfet::ionSelfConsistent(double vgs, double vds) const {
+  // Solve I = Idsat0(vgs - I*Rs): the source resistance debiases the gate.
+  const double iMax = idsat0(vgs, vds);
+  if (iMax <= 0) return 0.0;
+  auto f = [&](double i) { return idsat0(vgs - i * params_.rsOhmM, vds) - i; };
+  // f(0) = iMax > 0 and f(iMax) <= 0 (degeneration can only reduce current),
+  // so [0, iMax] brackets the fixed point.
+  return util::brent(f, 0.0, iMax, iMax * 1e-12).x;
+}
+
+double Mosfet::ion() const { return ionSelfConsistent(params_.vddReference); }
+
+double Mosfet::ioff(double vds) const {
+  if (vds < 0) vds = params_.vddReference;
+  const double vth = vthEffective(vds);
+  return params_.ioffPrefactor * std::pow(10.0, -vth / subthresholdSwing());
+}
+
+double Mosfet::linearConductance(double vgs) const {
+  // Near vds = 0 there is no DIBL relief: use the threshold at low drain
+  // bias, smoothed so the expression decays into subthreshold.
+  const double vth = vthEffective(0.0);
+  const double vgt = smoothedOverdrive(vgs, vth);
+  return mobility(vgs) * coxElectrical() * vgt / params_.leff;
+}
+
+double solveVthForIon(const tech::TechNode& node, double ionTarget,
+                      GateStack stack, double vddOverride, double temperature) {
+  const double vdd = vddOverride > 0 ? vddOverride : node.vdd;
+  auto ionAtVth = [&](double vth) {
+    MosfetParams p;
+    p.toxPhysical = node.toxPhysical;
+    p.gateStack = stack;
+    p.leff = node.leff;
+    p.vthNominal = vth;
+    p.vddReference = vdd;
+    p.rsOhmM = node.rsSourceOhmM;
+    p.dibl = node.dibl;
+    p.swing300K = node.subthresholdSwing;
+    p.temperature = temperature;
+    return Mosfet(p).ionSelfConsistent(vdd) - ionTarget;
+  };
+  // Ion decreases monotonically with Vth; search a generous bracket.
+  return util::bracketAndSolve(ionAtVth, -0.2, vdd, 40, 1e-9).x;
+}
+
+}  // namespace nano::device

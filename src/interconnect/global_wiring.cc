@@ -1,0 +1,42 @@
+#include "interconnect/global_wiring.h"
+
+#include <cmath>
+
+namespace nano::interconnect {
+
+GlobalWiringReport analyzeGlobalWiring(const tech::TechNode& node,
+                                       const GlobalWiringOptions& options) {
+  GlobalWiringReport rep;
+  rep.dieEdge = std::sqrt(node.dieArea);
+
+  const double gates = static_cast<double>(node.logicTransistors) / 4.0;
+  rep.globalNetCount =
+      options.rentCoefficient * std::pow(gates, options.rentExponent);
+  rep.avgNetLength = options.avgLengthFraction * rep.dieEdge;
+  rep.totalWireLength = rep.globalNetCount * rep.avgNetLength;
+
+  const WireGeometry geom = options.unscaledWires ? unscaledGlobalWire(node)
+                                                  : topLevelWire(node);
+  rep.wireRc = computeWireRc(geom);
+
+  const RepeaterDriver driver = RepeaterDriver::fromNode(node);
+  rep.design = optimalRepeatersNumeric(driver, rep.wireRc);
+  rep.delayPerMeter = rep.design.delayPerMeter;
+
+  // Repeater population: every net is repeated at the optimal pitch.
+  rep.repeaterCount = rep.globalNetCount *
+                      repeaterCountForLength(rep.design, rep.avgNetLength);
+
+  rep.power = repeatedLinePower(driver, rep.wireRc, rep.design,
+                                rep.totalWireLength, node.clockGlobal,
+                                options.activity);
+
+  rep.dieCrossingDelay =
+      repeatedLineDelay(driver, rep.wireRc, rep.design, rep.dieEdge);
+  rep.cyclesToCrossDie = rep.dieCrossingDelay * node.clockGlobal;
+  rep.repeaterAreaFraction =
+      rep.repeaterCount * rep.design.size * driver.unitArea / node.dieArea;
+  return rep;
+}
+
+}  // namespace nano::interconnect

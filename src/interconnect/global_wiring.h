@@ -1,0 +1,51 @@
+// System-level global-wiring rollup (BACPAC-style): estimates per node how
+// much global wire a high-performance MPU carries, how many repeaters it
+// needs, and what the repeated-wire subsystem costs in power — the numbers
+// behind the paper's Section 2.2 claims (~10^4 repeaters at 180 nm growing
+// to ~10^6 at 50 nm, >50 W of global signaling power, and ITRS global
+// clock rates being reachable on unscaled top-level wires).
+#pragma once
+
+#include "interconnect/repeater.h"
+#include "interconnect/wire.h"
+#include "tech/itrs.h"
+
+namespace nano::interconnect {
+
+/// Knobs of the global-wiring estimate.
+struct GlobalWiringOptions {
+  /// Switching activity of global signals (transitions/cycle).
+  double activity = 0.15;
+  /// Global net count model: nets = rentCoefficient * gates^rentExponent
+  /// (gates = logic transistors / 4). Calibrated so the 180 nm node carries
+  /// ~1e4 repeaters, matching the Itanium data point the paper cites [11].
+  double rentCoefficient = 0.25;
+  double rentExponent = 0.6;
+  /// Average global net length as a fraction of the die edge.
+  double avgLengthFraction = 0.4;
+  /// Use the 180 nm top-level wire geometry at every node ("unscaled top
+  /// level wiring" scenario of [9]) instead of the node's scaled geometry.
+  bool unscaledWires = false;
+};
+
+/// Results of the rollup. Powers in W, lengths in m, delays in s.
+struct GlobalWiringReport {
+  double dieEdge = 0.0;
+  double globalNetCount = 0.0;
+  double avgNetLength = 0.0;
+  double totalWireLength = 0.0;
+  WireRc wireRc;
+  RepeaterDesign design;
+  double repeaterCount = 0.0;
+  LinePower power;                 ///< total over all global nets
+  double delayPerMeter = 0.0;
+  double dieCrossingDelay = 0.0;   ///< one die edge, repeated line
+  double cyclesToCrossDie = 0.0;   ///< at the node's global clock
+  double repeaterAreaFraction = 0.0;  ///< total repeater area / die area
+};
+
+/// Run the rollup for one node.
+GlobalWiringReport analyzeGlobalWiring(const tech::TechNode& node,
+                                       const GlobalWiringOptions& options = {});
+
+}  // namespace nano::interconnect

@@ -1,0 +1,68 @@
+// Repeater insertion for long RC lines: the "current signaling paradigm of
+// inserting large CMOS buffers along an RC line" the paper analyzes in
+// Section 2.2. Provides the Bakoglu closed-form optimum, a numeric
+// (Elmore-based) optimizer used to validate it, and delay/power/area
+// rollups for a repeated line.
+#pragma once
+
+#include "device/gate_model.h"
+#include "interconnect/wire.h"
+#include "tech/itrs.h"
+
+namespace nano::interconnect {
+
+/// Electrical characterization of a unit-size repeater (minimum inverter).
+struct RepeaterDriver {
+  double unitResistance = 0.0;  ///< switching resistance of a 1x repeater, ohm
+  double unitInputCap = 0.0;    ///< F
+  double unitOutputCap = 0.0;   ///< F
+  double unitLeakage = 0.0;     ///< W at operating conditions
+  double unitArea = 0.0;        ///< layout area of a 1x repeater, m^2
+  double vdd = 0.0;
+
+  /// Characterize from a roadmap node at its nominal supply and roadmap Vth.
+  static RepeaterDriver fromNode(const tech::TechNode& node);
+};
+
+/// A repeater insertion solution for a given wire.
+struct RepeaterDesign {
+  double segmentLength = 0.0;  ///< distance between repeaters, m
+  double size = 0.0;           ///< repeater size, multiples of unit inverter
+  double delayPerMeter = 0.0;  ///< s/m of the repeated line
+};
+
+/// Delay of one repeater stage of `size` driving `segmentLength` of wire
+/// plus the next repeater's input, s.
+double repeaterSegmentDelay(const RepeaterDriver& driver, const WireRc& rc,
+                            double size, double segmentLength);
+
+/// Bakoglu closed-form optimum: h = sqrt(R0*c / (r*Cin0)),
+/// L = sqrt(2*R0*(Cin0+Cout0) / (r*c)).
+RepeaterDesign optimalRepeatersClosedForm(const RepeaterDriver& driver,
+                                          const WireRc& rc);
+
+/// Numeric optimum of delay/meter over (size, segmentLength) by nested
+/// golden-section search on the Elmore segment delay. Agrees with the
+/// closed form to a few percent.
+RepeaterDesign optimalRepeatersNumeric(const RepeaterDriver& driver,
+                                       const WireRc& rc);
+
+/// Total 50 % delay of a length-`length` line repeated per `design`, s.
+double repeatedLineDelay(const RepeaterDriver& driver, const WireRc& rc,
+                         const RepeaterDesign& design, double length);
+
+/// Power of a repeated line at clock `freq` and activity factor `activity`.
+struct LinePower {
+  double wire = 0.0;       ///< W switching the wire capacitance
+  double repeaterDyn = 0.0;///< W switching repeater input+output caps
+  double leakage = 0.0;    ///< W repeater leakage
+  [[nodiscard]] double total() const { return wire + repeaterDyn + leakage; }
+};
+LinePower repeatedLinePower(const RepeaterDriver& driver, const WireRc& rc,
+                            const RepeaterDesign& design, double length,
+                            double freq, double activity);
+
+/// Repeaters needed for a run of `length` (at least 1 segment).
+double repeaterCountForLength(const RepeaterDesign& design, double length);
+
+}  // namespace nano::interconnect

@@ -1,0 +1,62 @@
+#include "interconnect/wire.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace nano::interconnect {
+
+using namespace nano::units;
+
+WireRc computeWireRc(const WireGeometry& g) {
+  if (g.width <= 0 || g.thickness <= 0 || g.spacing <= 0 || g.ildThickness <= 0) {
+    throw std::invalid_argument("computeWireRc: non-positive geometry");
+  }
+  WireRc rc;
+  rc.resistancePerM = g.resistivity / (g.width * g.thickness);
+
+  const double eps = g.permittivity * eps0;
+  const double w = g.width / g.ildThickness;   // w/h
+  const double t = g.thickness / g.ildThickness;  // t/h
+  const double s = g.spacing / g.ildThickness;    // s/h
+
+  // Sakurai-Tamaru style fit for a line over a plane with two neighbors
+  // (doubled for planes above and below, as in multi-level global stacks).
+  const double cGroundOnePlane =
+      eps * (1.15 * w + 2.80 * std::pow(t, 0.222));
+  rc.groundCapPerM = 2.0 * cGroundOnePlane;
+
+  const double cCouple =
+      eps * (0.03 * w + 0.83 * t - 0.07 * std::pow(t, 0.222)) *
+      std::pow(s, -1.34);
+  rc.couplingCapPerM = std::max(cCouple, 0.0);
+  return rc;
+}
+
+WireGeometry topLevelWire(const tech::TechNode& node, double widthMultiple,
+                          bool matchSpacingToWidth) {
+  WireGeometry g;
+  const double wmin = node.minGlobalWireWidth();
+  g.width = widthMultiple * wmin;
+  g.spacing = matchSpacingToWidth ? g.width : wmin;
+  g.thickness = node.globalWireThickness();
+  // Top-tier ILD thickness tracks the metal thickness (AR ~1 dielectric).
+  g.ildThickness = 0.8 * g.thickness;
+  g.resistivity = node.metalResistivity;
+  g.permittivity = node.ildPermittivity;
+  return g;
+}
+
+WireGeometry unscaledGlobalWire(const tech::TechNode& node) {
+  WireGeometry g;
+  g.width = 0.6 * um;       // 180 nm generation: 1.2 um pitch
+  g.spacing = 0.6 * um;
+  g.thickness = 1.2 * um;   // AR 2
+  g.ildThickness = 0.96 * um;
+  g.resistivity = node.metalResistivity;
+  g.permittivity = node.ildPermittivity;
+  return g;
+}
+
+}  // namespace nano::interconnect

@@ -1,0 +1,55 @@
+// Wire parasitic models: per-length resistance and capacitance from
+// geometry (Sakurai-style empirical capacitance with area, fringe and
+// lateral coupling terms), and helpers to derive top-level ("global") wire
+// geometries from a roadmap node.
+#pragma once
+
+#include "tech/itrs.h"
+
+namespace nano::interconnect {
+
+/// Physical cross-section of one routing wire.
+struct WireGeometry {
+  double width = 0.5e-6;        ///< m
+  double spacing = 0.5e-6;      ///< m, to each lateral neighbor
+  double thickness = 1.0e-6;    ///< m
+  double ildThickness = 0.8e-6; ///< m, dielectric below (and above) the wire
+  double resistivity = 2.2e-8;  ///< ohm*m (Cu incl. barrier)
+  double permittivity = 3.5;    ///< relative dielectric constant
+};
+
+/// Per-length electrical parameters of a wire in its environment.
+struct WireRc {
+  double resistancePerM = 0.0;     ///< ohm/m
+  double groundCapPerM = 0.0;      ///< F/m, to planes above/below
+  double couplingCapPerM = 0.0;    ///< F/m, to ONE lateral neighbor
+  /// Total switched capacitance assuming quiet neighbors (both coupling
+  /// caps count once), F/m.
+  [[nodiscard]] double totalCapPerM() const {
+    return groundCapPerM + 2.0 * couplingCapPerM;
+  }
+  /// Worst-case effective capacitance when both neighbors switch the
+  /// opposite way (Miller factor 2 on coupling), F/m.
+  [[nodiscard]] double worstCaseCapPerM() const {
+    return groundCapPerM + 4.0 * couplingCapPerM;
+  }
+};
+
+/// Compute per-length R and C for a geometry. Capacitance uses the
+/// Sakurai/BACPAC empirical fit for a wire between two ground planes with
+/// two lateral neighbors; accurate to ~10 % for aspect ratios near 1-3.
+WireRc computeWireRc(const WireGeometry& geometry);
+
+/// Top-level (global tier) wire geometry of a node, `widthMultiple` times
+/// the minimum width. Spacing stays one minimum pitch minus width when
+/// widened rails are drawn in a power grid; for signal wires pass
+/// matchSpacingToWidth = true to keep spacing == width.
+WireGeometry topLevelWire(const tech::TechNode& node, double widthMultiple = 1.0,
+                          bool matchSpacingToWidth = true);
+
+/// The "unscaled" global wire the paper cites from [9]: 180 nm-generation
+/// top-level geometry (1.2 um pitch, AR 2) reused at every node, in the
+/// node's dielectric.
+WireGeometry unscaledGlobalWire(const tech::TechNode& node);
+
+}  // namespace nano::interconnect

@@ -1,0 +1,114 @@
+#include "interconnect/wire_sizing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nano::interconnect {
+
+namespace {
+
+WireSizingPoint evaluate(const tech::TechNode& node,
+                         const RepeaterDriver& driver, double widthMult,
+                         double spacingMult) {
+  WireGeometry g = topLevelWire(node);
+  const double minWidth = g.width;
+  const double minSpacing = g.spacing;
+  g.width = widthMult * minWidth;
+  g.spacing = spacingMult * minSpacing;
+  const WireRc rc = computeWireRc(g);
+  const RepeaterDesign design = optimalRepeatersNumeric(driver, rc);
+
+  WireSizingPoint pt;
+  pt.widthMultiple = widthMult;
+  pt.spacingMultiple = spacingMult;
+  pt.delayPerMeter = design.delayPerMeter;
+  // Switched energy per metre per transition: wire plus repeater caps at
+  // the optimal insertion density.
+  const double cWire = rc.totalCapPerM();
+  const double cRep = design.size *
+                      (driver.unitInputCap + driver.unitOutputCap) /
+                      design.segmentLength;
+  pt.energyPerMeterBit = (cWire + cRep) * node.vdd * node.vdd;
+  pt.tracksPerWire = (g.width + g.spacing) / (minWidth + minSpacing);
+  return pt;
+}
+
+}  // namespace
+
+std::vector<WireSizingPoint> sweepWireSizing(
+    const tech::TechNode& node, const std::vector<double>& widthMultiples,
+    const std::vector<double>& spacingMultiples) {
+  if (widthMultiples.empty() || spacingMultiples.empty()) {
+    throw std::invalid_argument("sweepWireSizing: empty sweep");
+  }
+  const RepeaterDriver driver = RepeaterDriver::fromNode(node);
+  std::vector<WireSizingPoint> out;
+  out.reserve(widthMultiples.size() * spacingMultiples.size());
+  for (double w : widthMultiples) {
+    for (double s : spacingMultiples) {
+      if (w <= 0 || s <= 0) {
+        throw std::invalid_argument("sweepWireSizing: non-positive multiple");
+      }
+      out.push_back(evaluate(node, driver, w, s));
+    }
+  }
+  return out;
+}
+
+std::vector<WireSizingPoint> paretoFrontier(
+    std::vector<WireSizingPoint> points) {
+  std::vector<WireSizingPoint> frontier;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      const bool betterOrEqual = q.delayPerMeter <= p.delayPerMeter &&
+                                 q.energyPerMeterBit <= p.energyPerMeterBit;
+      const bool strictlyBetter = q.delayPerMeter < p.delayPerMeter ||
+                                  q.energyPerMeterBit < p.energyPerMeterBit;
+      if (betterOrEqual && strictlyBetter) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const WireSizingPoint& a, const WireSizingPoint& b) {
+              return a.delayPerMeter < b.delayPerMeter;
+            });
+  return frontier;
+}
+
+WireSizingChoice chooseWireSizing(const tech::TechNode& node,
+                                  double delaySlackFraction) {
+  if (delaySlackFraction < 0) {
+    throw std::invalid_argument("chooseWireSizing: negative slack");
+  }
+  const std::vector<double> widths = {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0};
+  const std::vector<double> spacings = {1.0, 1.5, 2.0, 3.0};
+  const auto sweep = sweepWireSizing(node, widths, spacings);
+
+  WireSizingChoice choice;
+  choice.fastest = *std::min_element(
+      sweep.begin(), sweep.end(),
+      [](const WireSizingPoint& a, const WireSizingPoint& b) {
+        return a.delayPerMeter < b.delayPerMeter;
+      });
+  const double budget =
+      choice.fastest.delayPerMeter * (1.0 + delaySlackFraction);
+  choice.efficient = choice.fastest;
+  for (const auto& p : sweep) {
+    if (p.delayPerMeter <= budget &&
+        p.energyPerMeterBit < choice.efficient.energyPerMeterBit) {
+      choice.efficient = p;
+    }
+  }
+  choice.energySavedFraction = 1.0 - choice.efficient.energyPerMeterBit /
+                                         choice.fastest.energyPerMeterBit;
+  choice.delayPaidFraction = choice.efficient.delayPerMeter /
+                                 choice.fastest.delayPerMeter -
+                             1.0;
+  return choice;
+}
+
+}  // namespace nano::interconnect

@@ -1,0 +1,45 @@
+// Global-wire sizing exploration: the delay/power trade of widening and
+// spacing top-level wires, evaluated through the repeater-insertion model.
+// Section 2.2's point that EDA tools need to work with "different
+// primitive components" — here, the wire geometry itself is the knob.
+#pragma once
+
+#include <vector>
+
+#include "interconnect/repeater.h"
+#include "interconnect/wire.h"
+
+namespace nano::interconnect {
+
+/// One geometry candidate evaluated on a reference link.
+struct WireSizingPoint {
+  double widthMultiple = 1.0;    ///< width / minimum width
+  double spacingMultiple = 1.0;  ///< spacing / minimum spacing
+  double delayPerMeter = 0.0;    ///< s/m, optimally repeated
+  double energyPerMeterBit = 0.0;///< J/(m*transition), wire + repeaters
+  double tracksPerWire = 0.0;    ///< routing pitch / minimum pitch
+};
+
+/// Sweep width (and optionally spacing) multiples for a node's top-level
+/// wire; each point re-optimizes the repeaters.
+std::vector<WireSizingPoint> sweepWireSizing(
+    const tech::TechNode& node, const std::vector<double>& widthMultiples,
+    const std::vector<double>& spacingMultiples = {1.0});
+
+/// From a sweep, the Pareto frontier in (delay, energy): points not
+/// dominated by any other (ties resolved toward fewer tracks).
+std::vector<WireSizingPoint> paretoFrontier(std::vector<WireSizingPoint> points);
+
+/// The fastest geometry in a sweep, and the cheapest geometry within
+/// `delaySlackFraction` of that fastest delay — the "spend a little delay,
+/// save a lot of wire power" pick.
+struct WireSizingChoice {
+  WireSizingPoint fastest;
+  WireSizingPoint efficient;
+  double energySavedFraction = 0.0;  ///< efficient vs fastest
+  double delayPaidFraction = 0.0;
+};
+WireSizingChoice chooseWireSizing(const tech::TechNode& node,
+                                  double delaySlackFraction = 0.10);
+
+}  // namespace nano::interconnect

@@ -1,0 +1,95 @@
+#include "opt/combined.h"
+
+#include <stdexcept>
+
+namespace nano::opt {
+
+using circuit::Netlist;
+using circuit::VddDomain;
+using circuit::VthClass;
+
+namespace {
+
+double countFraction(const Netlist& nl, VddDomain domain) {
+  int count = 0;
+  int total = 0;
+  for (int g : nl.gateIds()) {
+    const auto& cell = nl.node(g).cell;
+    if (cell.function == circuit::CellFunction::LevelConverter) continue;
+    ++total;
+    if (cell.vddDomain == domain) ++count;
+  }
+  return total ? static_cast<double>(count) / total : 0.0;
+}
+
+double countFraction(const Netlist& nl, VthClass vth) {
+  int count = 0;
+  int total = 0;
+  for (int g : nl.gateIds()) {
+    const auto& cell = nl.node(g).cell;
+    if (cell.function == circuit::CellFunction::LevelConverter) continue;
+    ++total;
+    if (cell.vth == vth) ++count;
+  }
+  return total ? static_cast<double>(count) / total : 0.0;
+}
+
+}  // namespace
+
+FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
+                   const FlowOptions& options, double freq) {
+  FlowResult res;
+  res.timingBefore = sta::analyze(netlist, options.clockPeriod);
+  const double clock = res.timingBefore.clockPeriod;
+  if (freq <= 0) freq = 1.0 / clock;
+  res.powerBefore = power::computePower(netlist, freq, options.piActivity);
+
+  Netlist current = netlist;
+  // The working clock grows by the conversion latency once CVS inserts
+  // level-converting capture stages (CvsResult::timingAfter carries it).
+  double workingClock = clock;
+  for (FlowStage stage : options.stages) {
+    FlowStageResult sr;
+    switch (stage) {
+      case FlowStage::MultiVdd: {
+        CvsOptions co;
+        co.clockPeriod = workingClock;
+        co.piActivity = options.piActivity;
+        CvsResult r = runCvs(current, library, co, freq);
+        current = std::move(r.netlist);
+        workingClock = r.timingAfter.clockPeriod;
+        sr.name = "multi-Vdd (CVS)";
+        break;
+      }
+      case FlowStage::DualVth: {
+        DualVthOptions do_;
+        do_.clockPeriod = workingClock;
+        do_.piActivity = options.piActivity;
+        DualVthResult r = runDualVth(current, library, do_, freq);
+        current = std::move(r.netlist);
+        sr.name = "dual-Vth";
+        break;
+      }
+      case FlowStage::Downsize: {
+        SizingOptions so;
+        so.clockPeriod = workingClock;
+        so.piActivity = options.piActivity;
+        so.continuousSizes = options.continuousSizes;
+        SizingResult r = downsizeForPower(current, library, so, freq);
+        current = std::move(r.netlist);
+        sr.name = "downsizing";
+        sr.gatesResized = r.gatesResized;
+        break;
+      }
+    }
+    sr.power = power::computePower(current, freq, options.piActivity);
+    sr.timing = sta::analyze(current, workingClock);
+    sr.fractionLowVdd = countFraction(current, VddDomain::Low);
+    sr.fractionHighVth = countFraction(current, VthClass::High);
+    res.stages.push_back(std::move(sr));
+  }
+  res.netlist = std::move(current);
+  return res;
+}
+
+}  // namespace nano::opt

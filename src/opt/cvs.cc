@@ -1,0 +1,98 @@
+#include "opt/cvs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/level_converter.h"
+
+namespace nano::opt {
+
+using circuit::CellFunction;
+using circuit::Netlist;
+using circuit::VddDomain;
+
+CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
+                 const CvsOptions& options, double freq) {
+  CvsResult res;
+  res.timingBefore = sta::analyze(netlist, options.clockPeriod);
+  const double clock = res.timingBefore.clockPeriod;
+  if (freq <= 0) freq = 1.0 / clock;
+  res.powerBefore = power::computePower(netlist, freq, options.piActivity);
+
+  Netlist work = netlist;
+  const double margin = options.guardband * clock;
+  // Converter latency absorbed at an output boundary if the endpoint gate
+  // moves to Vdd,l (level-converting capture stage).
+  const circuit::Cell lcCell =
+      library.pick(CellFunction::LevelConverter, 1.0, circuit::VthClass::Low,
+                   VddDomain::High);
+  const double lcDelay = lcCell.delay(work.outputLoadCap());
+
+  sta::TimingResult timing = res.timingBefore;
+  const auto gates = work.gateIds();
+  int lowCount = 0;
+
+  // Reverse topological: low-Vdd cones grow from the outputs backwards.
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    const int g = *it;
+    const auto& node = work.node(g);
+    if (node.cell.function == CellFunction::LevelConverter) continue;
+
+    // CVS structural rule: every fanout must already be Vdd,l.
+    bool fanoutsLow = true;
+    for (int fo : node.fanouts) {
+      if (work.node(fo).cell.vddDomain != VddDomain::Low) {
+        fanoutsLow = false;
+        break;
+      }
+    }
+    if (!fanoutsLow) continue;
+
+    // Cheap prune: the delay increase must fit in this gate's slack.
+    const circuit::Cell lowered =
+        library.recorner(node.cell, node.cell.vth, VddDomain::Low);
+    const double load = work.loadCap(g);
+    double delta = lowered.delay(load) - node.cell.delay(load);
+    if (node.isOutput) delta += lcDelay;
+    if (timing.slack[static_cast<std::size_t>(g)] < delta + margin) continue;
+
+    // Apply and verify exactly: build the converted netlist and time it at
+    // the original clock. Regular endpoints must meet the clock; endpoints
+    // behind a level converter get the conversion latency absorbed by
+    // their level-converting capture stage (one lcDelay of allowance).
+    const circuit::Cell saved = node.cell;
+    work.replaceCell(g, lowered);
+    const ConversionReport trialConv = insertLevelConverters(work, library, true);
+    const sta::TimingResult trial = sta::analyze(trialConv.netlist, clock);
+    bool ok = true;
+    for (int out : trialConv.netlist.outputs()) {
+      const auto& endNode = trialConv.netlist.node(out);
+      const bool isConverter =
+          endNode.kind == Netlist::NodeKind::Gate &&
+          endNode.cell.function == CellFunction::LevelConverter;
+      const double allowance = isConverter ? lcDelay : 0.0;
+      if (trial.slack[static_cast<std::size_t>(out)] < -allowance - 1e-15) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      timing = sta::analyze(work, clock);
+      ++lowCount;
+    } else {
+      work.replaceCell(g, saved);
+    }
+  }
+
+  res.fractionLowVdd =
+      static_cast<double>(lowCount) / static_cast<double>(netlist.gateCount());
+
+  ConversionReport conv = insertLevelConverters(work, library, true);
+  res.netlist = std::move(conv.netlist);
+  res.convertersAdded = conv.convertersAdded;
+  res.powerAfter = power::computePower(res.netlist, freq, options.piActivity);
+  res.timingAfter = sta::analyze(res.netlist, clock + lcDelay);
+  return res;
+}
+
+}  // namespace nano::opt

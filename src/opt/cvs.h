@@ -1,0 +1,51 @@
+// Clustered voltage scaling (CVS, Usami-Horowitz [20]; paper Section 2.4):
+// assign non-critical gates to a reduced supply Vdd,l, keeping the
+// electrical rule that a Vdd,l gate never drives a Vdd,h gate directly —
+// low-Vdd gates cluster into cones feeding the outputs, with level
+// conversion at the register boundary.
+#pragma once
+
+#include "circuit/library.h"
+#include "circuit/netlist.h"
+#include "power/power_model.h"
+#include "sta/sta.h"
+
+namespace nano::opt {
+
+/// CVS options.
+struct CvsOptions {
+  /// Clock period to honor; <= 0 means the circuit's own critical delay
+  /// (all slack comes from path imbalance, as in the paper's discussion).
+  double clockPeriod = -1.0;
+  /// Extra timing margin kept in hand, as a fraction of the clock.
+  double guardband = 0.01;
+  double piActivity = 0.2;
+};
+
+/// CVS outcome.
+struct CvsResult {
+  circuit::Netlist netlist{0.0, 0.0};  ///< assigned + converters inserted
+  double fractionLowVdd = 0.0;         ///< of original gates
+  int convertersAdded = 0;
+  power::PowerBreakdown powerBefore;
+  power::PowerBreakdown powerAfter;
+  sta::TimingResult timingBefore;
+  sta::TimingResult timingAfter;
+  [[nodiscard]] double dynamicSavings() const {
+    const double before = powerBefore.dynamic;
+    const double after = powerAfter.dynamic + powerAfter.levelConverter;
+    return 1.0 - after / before;
+  }
+  [[nodiscard]] double converterPowerFraction() const {
+    return powerAfter.levelConverter /
+           (powerAfter.dynamic + powerAfter.levelConverter);
+  }
+};
+
+/// Run CVS on `netlist` (all gates assumed Vdd,h on entry). `freq` is the
+/// clock used for power reporting; defaults to 1/clockPeriod.
+CvsResult runCvs(const circuit::Netlist& netlist,
+                 const circuit::Library& library, const CvsOptions& options = {},
+                 double freq = -1.0);
+
+}  // namespace nano::opt

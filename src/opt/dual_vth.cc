@@ -1,0 +1,75 @@
+#include "opt/dual_vth.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nano::opt {
+
+using circuit::Netlist;
+using circuit::VthClass;
+
+DualVthResult runDualVth(const Netlist& netlist,
+                         const circuit::Library& library,
+                         const DualVthOptions& options, double freq) {
+  DualVthResult res;
+  res.timingBefore = sta::analyze(netlist, options.clockPeriod);
+  const double clock = res.timingBefore.clockPeriod;
+  if (freq <= 0) freq = 1.0 / clock;
+  res.powerBefore = power::computePower(netlist, freq, options.piActivity);
+
+  Netlist work = netlist;
+  const double margin = options.guardband * clock;
+  sta::TimingResult timing = res.timingBefore;
+
+  // Rank candidates by leakage saved per delay added (sensitivity order).
+  const auto gates = work.gateIds();
+  struct Candidate {
+    int id = 0;
+    double benefit = 0.0;
+    double delta = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(gates.size());
+  for (int g : gates) {
+    const auto& node = work.node(g);
+    if (node.cell.vth != VthClass::Low) continue;
+    const circuit::Cell high =
+        library.recorner(node.cell, VthClass::High, node.cell.vddDomain);
+    const double load = work.loadCap(g);
+    const double delta = high.delay(load) - node.cell.delay(load);
+    const double saved = node.cell.leakage - high.leakage;
+    if (saved <= 0) continue;
+    candidates.push_back({g, saved / std::max(delta, 1e-18), delta});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.benefit > b.benefit;
+            });
+
+  int highCount = 0;
+  for (const Candidate& c : candidates) {
+    if (timing.slack[static_cast<std::size_t>(c.id)] < c.delta + margin) {
+      continue;  // cannot possibly fit
+    }
+    const auto& node = work.node(c.id);
+    const circuit::Cell saved = node.cell;
+    work.replaceCell(
+        c.id, library.recorner(node.cell, VthClass::High, node.cell.vddDomain));
+    sta::TimingResult trial = sta::analyze(work, clock);
+    if (trial.worstSlack >= -1e-15 + 0.0 && trial.meetsTiming()) {
+      timing = std::move(trial);
+      ++highCount;
+    } else {
+      work.replaceCell(c.id, saved);
+    }
+  }
+
+  res.fractionHighVth =
+      static_cast<double>(highCount) / static_cast<double>(netlist.gateCount());
+  res.powerAfter = power::computePower(work, freq, options.piActivity);
+  res.timingAfter = sta::analyze(work, clock);
+  res.netlist = std::move(work);
+  return res;
+}
+
+}  // namespace nano::opt

@@ -1,0 +1,79 @@
+#include "power/activity.h"
+
+#include <stdexcept>
+
+namespace nano::power {
+
+using circuit::CellFunction;
+using circuit::Netlist;
+
+double outputProbability(CellFunction function,
+                         const std::vector<double>& p) {
+  auto need = [&](std::size_t n) {
+    if (p.size() != n) {
+      throw std::invalid_argument("outputProbability: arity mismatch");
+    }
+  };
+  switch (function) {
+    case CellFunction::Inv:
+      need(1);
+      return 1.0 - p[0];
+    case CellFunction::Buf:
+    case CellFunction::LevelConverter:
+      need(1);
+      return p[0];
+    case CellFunction::Nand2:
+      need(2);
+      return 1.0 - p[0] * p[1];
+    case CellFunction::Nand3:
+      need(3);
+      return 1.0 - p[0] * p[1] * p[2];
+    case CellFunction::Nor2:
+      need(2);
+      return (1.0 - p[0]) * (1.0 - p[1]);
+    case CellFunction::Nor3:
+      need(3);
+      return (1.0 - p[0]) * (1.0 - p[1]) * (1.0 - p[2]);
+    case CellFunction::Xor2:
+      need(2);
+      return p[0] * (1.0 - p[1]) + (1.0 - p[0]) * p[1];
+  }
+  throw std::logic_error("outputProbability: bad function");
+}
+
+ActivityResult propagateActivity(const Netlist& netlist, double piProbability,
+                                 double piActivity) {
+  if (piProbability <= 0.0 || piProbability >= 1.0) {
+    throw std::invalid_argument("propagateActivity: piProbability in (0,1)");
+  }
+  const int n = netlist.nodeCount();
+  ActivityResult r;
+  r.probability.assign(static_cast<std::size_t>(n), 0.0);
+  r.activity.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Temporal correlation: how much less the inputs toggle than a random
+  // sequence with the same probability would; applied to internal nodes too.
+  const double temporalFactor =
+      piActivity / (2.0 * piProbability * (1.0 - piProbability));
+
+  std::vector<double> inProbs;
+  for (int i = 0; i < n; ++i) {
+    const auto& node = netlist.node(i);
+    if (node.kind == Netlist::NodeKind::PrimaryInput) {
+      r.probability[static_cast<std::size_t>(i)] = piProbability;
+      r.activity[static_cast<std::size_t>(i)] = piActivity;
+      continue;
+    }
+    inProbs.clear();
+    for (int f : node.fanins) {
+      inProbs.push_back(r.probability[static_cast<std::size_t>(f)]);
+    }
+    const double p = outputProbability(node.cell.function, inProbs);
+    r.probability[static_cast<std::size_t>(i)] = p;
+    r.activity[static_cast<std::size_t>(i)] =
+        2.0 * p * (1.0 - p) * temporalFactor;
+  }
+  return r;
+}
+
+}  // namespace nano::power

@@ -1,0 +1,31 @@
+// Signal-probability and switching-activity propagation through a netlist
+// (zero-delay model with spatial independence): the activity numbers that
+// feed dynamic-power analysis.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace nano::power {
+
+/// Per-node signal statistics.
+struct ActivityResult {
+  std::vector<double> probability;  ///< P(node == 1)
+  std::vector<double> activity;     ///< transitions per clock cycle
+};
+
+/// Propagate from primary inputs with probability `piProbability` and
+/// activity `piActivity`. Internal node activity uses the temporal-
+/// independence estimate 2*p*(1-p), scaled by the same temporal correlation
+/// factor the inputs carry (piActivity / (2*piP*(1-piP))).
+ActivityResult propagateActivity(const circuit::Netlist& netlist,
+                                 double piProbability = 0.5,
+                                 double piActivity = 0.2);
+
+/// Output probability of a cell function given input probabilities
+/// (spatial independence).
+double outputProbability(circuit::CellFunction function,
+                         const std::vector<double>& inputProbs);
+
+}  // namespace nano::power

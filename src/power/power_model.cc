@@ -1,0 +1,39 @@
+#include "power/power_model.h"
+
+namespace nano::power {
+
+using circuit::CellFunction;
+using circuit::Netlist;
+
+double gateDynamicPower(const Netlist& netlist, const ActivityResult& activity,
+                        int gateId, double freq) {
+  const auto& node = netlist.node(gateId);
+  const double a = activity.activity[static_cast<std::size_t>(gateId)];
+  return a * node.cell.switchingEnergy(netlist.loadCap(gateId)) * freq;
+}
+
+PowerBreakdown computePower(const Netlist& netlist,
+                            const ActivityResult& activity, double freq) {
+  PowerBreakdown p;
+  for (int i = 0; i < netlist.nodeCount(); ++i) {
+    const auto& node = netlist.node(i);
+    if (node.kind != Netlist::NodeKind::Gate) continue;
+    const double dyn = gateDynamicPower(netlist, activity, i, freq);
+    const double leak = node.cell.leakage;
+    if (node.cell.function == CellFunction::LevelConverter) {
+      p.levelConverter += dyn + leak;
+    } else {
+      p.dynamic += dyn;
+      p.leakage += leak;
+    }
+  }
+  return p;
+}
+
+PowerBreakdown computePower(const Netlist& netlist, double freq,
+                            double piActivity) {
+  return computePower(netlist, propagateActivity(netlist, 0.5, piActivity),
+                      freq);
+}
+
+}  // namespace nano::power

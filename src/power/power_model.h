@@ -1,0 +1,36 @@
+// Netlist power analysis: per-gate dynamic (a*C*V^2*f) and leakage rollups
+// with a separate bucket for level-converter overhead, so the multi-Vdd
+// results can report the "8-10 % additional level conversion power" the
+// paper quotes.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "power/activity.h"
+
+namespace nano::power {
+
+/// Power rollup of a netlist.
+struct PowerBreakdown {
+  double dynamic = 0.0;          ///< W, logic switching (excl. converters)
+  double leakage = 0.0;          ///< W, logic leakage (excl. converters)
+  double levelConverter = 0.0;   ///< W, level-converter dynamic + leakage
+  [[nodiscard]] double total() const {
+    return dynamic + leakage + levelConverter;
+  }
+};
+
+/// Compute power at clock `freq` with the given activity annotation.
+PowerBreakdown computePower(const circuit::Netlist& netlist,
+                            const ActivityResult& activity, double freq);
+
+/// Convenience: propagate default activity and compute power.
+PowerBreakdown computePower(const circuit::Netlist& netlist, double freq,
+                            double piActivity = 0.2);
+
+/// Per-gate dynamic power (same model as computePower), W; used for
+/// sensitivity-driven optimizers.
+double gateDynamicPower(const circuit::Netlist& netlist,
+                        const ActivityResult& activity, int gateId,
+                        double freq);
+
+}  // namespace nano::power

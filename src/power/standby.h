@@ -1,0 +1,87 @@
+// Standby-power reduction techniques from paper Section 3.2.1:
+//
+//  * MTCMOS — a high-Vth sleep transistor gates the virtual ground of a
+//    low-Vth block: near-zero standby leakage, at the price of an active
+//    delay penalty (virtual-ground bounce), sleep-device area, and no
+//    active-mode leakage reduction.
+//  * Transistor stacks [38] — two series off-devices leak far less than
+//    one because the internal node self-biases (source degeneration +
+//    DIBL relief + body effect); computed self-consistently from the
+//    device model.
+//  * Reverse body bias [36] — raises Vth in standby; its lever shrinks
+//    with scaling (the paper's scalability objection).
+#pragma once
+
+#include "device/mosfet.h"
+#include "tech/itrs.h"
+
+namespace nano::power {
+
+/// Sizing result for an MTCMOS sleep transistor serving a logic block.
+struct SleepTransistorDesign {
+  double width = 0.0;            ///< m, total sleep-device width
+  double virtualRailDrop = 0.0;  ///< V, worst bounce at peak block current
+  double delayPenalty = 0.0;     ///< fractional gate-delay increase
+  double standbyLeakage = 0.0;   ///< A, through the high-Vth sleep device
+  double activeLeakage = 0.0;    ///< A, the (ungated) low-Vth block leakage
+  double areaOverhead = 0.0;     ///< sleep-device area / block device area
+  [[nodiscard]] double standbyReduction() const {
+    return 1.0 - standbyLeakage / activeLeakage;
+  }
+};
+
+/// MTCMOS block description.
+struct MtcmosBlock {
+  double totalDeviceWidth = 1e-3;  ///< m, sum of block NMOS widths
+  double peakCurrent = 0.1;        ///< A, simultaneous switching current
+  double vthLow = 0.1;             ///< block (fast) threshold, V
+  double vthSleepOffset = 0.2;     ///< sleep device Vth above the block's, V
+};
+
+/// Size the sleep transistor for at most `maxDelayPenalty` (fractional)
+/// active slowdown. The virtual-ground drop steals gate overdrive, so the
+/// penalty ~ drop / (Vdd - VthLow).
+SleepTransistorDesign sizeSleepTransistor(const tech::TechNode& node,
+                                          const MtcmosBlock& block,
+                                          double maxDelayPenalty = 0.05);
+
+/// Leakage of a stack of `depth` identical off NMOS devices relative to a
+/// single off device, solved self-consistently from the compact model
+/// (Eq. 4 generalized to Ioff(vgs, vds) with DIBL). Returns a factor in
+/// (0, 1]; depth 1 returns 1.
+double stackLeakageFactor(const device::Mosfet& device, int depth);
+
+/// Intermediate-node voltage of a 2-stack of off devices (exposed for
+/// tests; the self-bias that creates the stack effect), V.
+double stackIntermediateVoltage(const device::Mosfet& device);
+
+/// Intra-cell mixed-Vth stack (paper Section 3.3: "the use of different
+/// threshold transistors in a stacked arrangement can give fairly
+/// substantial leakage savings with minimal delay penalties"): a 2-stack
+/// pull-down with a high-Vth bottom device and a low-Vth top device,
+/// compared against the all-low-Vth stack.
+struct MixedStackReport {
+  double leakageVsAllLow = 0.0;  ///< off-state leakage factor (< 1)
+  double delayVsAllLow = 0.0;    ///< pull-down delay factor (>= 1)
+  double intermediateVoltage = 0.0;  ///< self-bias node, V
+};
+MixedStackReport mixedVthStack(const tech::TechNode& node, double vthLow,
+                               double vthHigh);
+
+/// Intermediate node of a 2-stack with distinct top/bottom devices, V.
+double stackIntermediateVoltage(const device::Mosfet& top,
+                                const device::Mosfet& bottom);
+
+/// Standby-leakage reduction from `reverseBias` volts of reverse body bias
+/// (paper [36]): factor = 10^(bodyEffect * Vbs / swing). Shrinks with
+/// scaling via the node's bodyEffect.
+double bodyBiasLeakageReduction(const tech::TechNode& node,
+                                double reverseBias);
+
+/// Off-current of a device at explicit gate/drain bias: Eq. (4) with the
+/// gate term, Ioff * 10^(vgs/S), and DIBL at `vds`. Building block of the
+/// stack solve; also useful for state-dependent leakage analysis. A/m.
+double subthresholdCurrent(const device::Mosfet& device, double vgs,
+                           double vds);
+
+}  // namespace nano::power

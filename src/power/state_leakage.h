@@ -1,0 +1,40 @@
+// State-dependent leakage analysis (paper Section 3.3: "the state
+// dependence of leakage can be leveraged"): a gate's leakage depends on
+// which inputs are low — series stacks with more than one off device leak
+// far less (the [38] stack effect). This module weights each input state
+// by its probability (from activity propagation) and the stack factor
+// (from power/standby) to produce a sharper leakage estimate than the
+// state-averaged cell number, plus the standby-state optimization: the
+// minimum-leakage input vector a sleep controller would apply.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "power/activity.h"
+
+namespace nano::power {
+
+/// Leakage of one cell in a specific input state, W. `inputsHigh` is a
+/// bitmask over the cell's fanins (bit k set = input k high). Uses the
+/// device-level stack solve for series networks.
+double cellStateLeakage(const circuit::Cell& cell, const tech::TechNode& node,
+                        unsigned inputsHigh);
+
+/// Probability-weighted leakage of the whole netlist, W: for each gate,
+/// sum over input states of P(state) * leakage(state), with input
+/// probabilities from `activity` (spatial independence).
+double stateAwareLeakage(const circuit::Netlist& netlist,
+                         const tech::TechNode& node,
+                         const ActivityResult& activity);
+
+/// Leakage if every primary input is parked at its per-gate best state
+/// greedily (input-vector control for standby, the cheap alternative to
+/// MTCMOS): lower bound obtained by giving each gate its minimum-leakage
+/// state independently. Returns (bestCase, worstCase), W.
+struct LeakageBounds {
+  double minimum = 0.0;
+  double maximum = 0.0;
+};
+LeakageBounds leakageStateBounds(const circuit::Netlist& netlist,
+                                 const tech::TechNode& node);
+
+}  // namespace nano::power

@@ -1,0 +1,134 @@
+#include "powergrid/grid_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::powergrid {
+
+GridSolution solveGrid(const GridConfig& cfg) {
+  if (cfg.railPitch <= 0 || cfg.bumpPitch < cfg.railPitch ||
+      cfg.railWidth <= 0 || cfg.tilesX < 1 || cfg.tilesY < 1 ||
+      cfg.subdivisions < 2) {
+    throw std::invalid_argument("solveGrid: bad config");
+  }
+  const int sub = cfg.subdivisions;
+  const int railsPerBump =
+      std::max(1, static_cast<int>(std::round(cfg.bumpPitch / cfg.railPitch)));
+  const int bumpStep = railsPerBump * sub;  // fine steps between bumps
+  const int nx = cfg.tilesX * bumpStep + 1;
+  const int ny = cfg.tilesY * bumpStep + 1;
+  const double h = cfg.railPitch / sub;  // fine mesh pitch
+
+  const auto idx = [nx](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  };
+  const std::size_t n = static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+
+  auto onXRail = [&](int y) { return y % sub == 0; };   // horizontal rail rows
+  auto onYRail = [&](int x) { return x % sub == 0; };   // vertical rail cols
+  auto onRail = [&](int x, int y) { return onXRail(y) || onYRail(x); };
+  auto isBump = [&](int x, int y) {
+    return (x % bumpStep == 0) && (y % bumpStep == 0);
+  };
+
+  // Unknowns: drop below the supply at rail nodes that are not bumps.
+  std::vector<long> unknownOf(n, -1);
+  std::size_t nUnknown = 0;
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (onRail(x, y) && !isBump(x, y)) {
+        unknownOf[idx(x, y)] = static_cast<long>(nUnknown++);
+      }
+    }
+  }
+  if (nUnknown == 0) throw std::invalid_argument("solveGrid: no unknowns");
+
+  const double g = cfg.railWidth / (cfg.railSheetResistance * h);
+
+  SparseSpd a(nUnknown);
+  std::vector<double> rhs(nUnknown, 0.0);
+
+  auto stampEdge = [&](int x0, int y0, int x1, int y1) {
+    const long u = unknownOf[idx(x0, y0)];
+    const long v = unknownOf[idx(x1, y1)];
+    if (u < 0 && v < 0) return;  // bump-to-bump (or off-rail): no unknown
+    if (u >= 0) a.addDiagonal(static_cast<std::size_t>(u), g);
+    if (v >= 0) a.addDiagonal(static_cast<std::size_t>(v), g);
+    if (u >= 0 && v >= 0) {
+      a.addOffDiagonal(static_cast<std::size_t>(u), static_cast<std::size_t>(v),
+                       -g);
+    }
+  };
+
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (onXRail(y) && x + 1 < nx) stampEdge(x, y, x + 1, y);
+      if (onYRail(x) && y + 1 < ny) stampEdge(x, y, x, y + 1);
+    }
+  }
+
+  // Distributed loads: each rail node sinks the current of its tributary
+  // strip (h along the rail, half a rail pitch to each side, split between
+  // the two rail directions so the total equals density * area).
+  const int hsSpan = cfg.hotspotCellsRail * sub;  // fine steps
+  const int hsLoX = (nx - hsSpan) / 2;
+  const int hsLoY = (ny - hsSpan) / 2;
+  auto densityAt = [&](int x, int y) {
+    const bool inHotspot = hsSpan > 0 && x >= hsLoX && x < hsLoX + hsSpan &&
+                           y >= hsLoY && y < hsLoY + hsSpan;
+    return cfg.powerDensity * (inHotspot ? cfg.hotspotFactor : 1.0);
+  };
+  const double tributary = 0.5 * h * cfg.railPitch;
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const long u = unknownOf[idx(x, y)];
+      if (u < 0) continue;
+      double weight = 0.0;
+      if (onXRail(y)) weight += 1.0;
+      if (onYRail(x)) weight += 1.0;
+      rhs[static_cast<std::size_t>(u)] =
+          densityAt(x, y) * tributary * weight / cfg.supplyVoltage;
+    }
+  }
+
+  a.finalize();
+  const CgResult cg = solveCg(a, rhs, 1e-10);
+
+  GridSolution sol;
+  sol.nx = nx;
+  sol.ny = ny;
+  sol.cgIterations = cg.iterations;
+  sol.unknowns = nUnknown;
+  sol.dropV.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (unknownOf[i] >= 0) {
+      sol.dropV[i] = cg.x[static_cast<std::size_t>(unknownOf[i])];
+    }
+  }
+  sol.maxDrop = *std::max_element(sol.dropV.begin(), sol.dropV.end());
+  sol.maxDropFraction = sol.maxDrop / cfg.supplyVoltage;
+  return sol;
+}
+
+GridConfig gridConfigForNode(const tech::TechNode& node, double widthMultiple,
+                             double padPitch, bool withHotspot) {
+  GridConfig cfg;
+  // Vdd rails and bumps interleave with GND: same-polarity pitch is twice
+  // the pad pitch.
+  cfg.railPitch = 2.0 * padPitch;
+  cfg.bumpPitch = 2.0 * padPitch;
+  cfg.railWidth = widthMultiple * node.minGlobalWireWidth();
+  cfg.railSheetResistance = node.metalResistivity / node.globalWireThickness();
+  cfg.supplyVoltage = node.vdd;
+  cfg.powerDensity = node.powerDensity();
+  cfg.hotspotFactor = withHotspot ? 4.0 : 1.0;
+  cfg.hotspotCellsRail = withHotspot ? 1 : 0;
+  cfg.tilesX = 3;
+  cfg.tilesY = 3;
+  cfg.subdivisions = 8;
+  return cfg;
+}
+
+}  // namespace nano::powergrid

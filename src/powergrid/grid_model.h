@@ -1,0 +1,52 @@
+// Resistive power-grid mesh builder: a "waffle" of top-level Vdd rails in
+// both routing directions at the same-polarity rail pitch, ideal bumps
+// (Dirichlet nodes) at rail crossings on the bump pitch, distributed
+// current loads along the rails with a hot-spot region at a multiple of
+// the average power density. Solved with the CG solver for IR drop.
+#pragma once
+
+#include <vector>
+
+#include "powergrid/solver.h"
+#include "tech/itrs.h"
+
+namespace nano::powergrid {
+
+/// Mesh configuration. The modeled window is `tilesX x tilesY` bump cells
+/// with natural (Neumann) boundaries — a periodic patch of a large die.
+struct GridConfig {
+  double railPitch = 160e-6;  ///< m, spacing of same-polarity (Vdd) rails
+  double bumpPitch = 160e-6;  ///< m, Vdd bump spacing (multiple of railPitch)
+  double railWidth = 1e-6;    ///< m
+  double railSheetResistance = 0.055;  ///< ohm/sq of the top metal
+  double supplyVoltage = 1.0; ///< V
+  double powerDensity = 5e5;  ///< W/m^2, average (this polarity carries all)
+  double hotspotFactor = 4.0; ///< density multiplier inside the hot-spot
+  int hotspotCellsRail = 0;   ///< hot-spot square size in rail pitches (0: none)
+  int tilesX = 2;             ///< window size, bump pitches
+  int tilesY = 2;
+  int subdivisions = 8;       ///< mesh nodes per rail span (resolution)
+};
+
+/// Solved grid.
+struct GridSolution {
+  int nx = 0;                   ///< fine-mesh points per row (incl. off-rail)
+  int ny = 0;
+  std::vector<double> dropV;    ///< IR drop per fine node (0 off-rail)
+  double maxDrop = 0.0;         ///< V
+  double maxDropFraction = 0.0; ///< of supplyVoltage
+  int cgIterations = 0;
+  std::size_t unknowns = 0;
+};
+
+/// Build and solve the mesh for `config`.
+GridSolution solveGrid(const GridConfig& config);
+
+/// Grid configuration for a roadmap node with rails `widthMultiple` times
+/// the minimum top-level width. `padPitch` is the pitch of the full bump
+/// array; Vdd rails/bumps interleave with GND, so same-polarity pitches
+/// are 2x padPitch.
+GridConfig gridConfigForNode(const tech::TechNode& node, double widthMultiple,
+                             double padPitch, bool withHotspot = true);
+
+}  // namespace nano::powergrid

@@ -1,0 +1,157 @@
+#include "powergrid/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nano::powergrid {
+
+SparseSpd::SparseSpd(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("SparseSpd: empty");
+}
+
+void SparseSpd::addOffDiagonal(std::size_t i, std::size_t j, double value) {
+  if (finalized_) throw std::logic_error("SparseSpd: already finalized");
+  if (i >= n_ || j >= n_ || i == j) throw std::out_of_range("SparseSpd: bad index");
+  ti_.push_back(i);
+  tj_.push_back(j);
+  tv_.push_back(value);
+}
+
+void SparseSpd::addDiagonal(std::size_t i, double value) {
+  if (finalized_) throw std::logic_error("SparseSpd: already finalized");
+  if (i >= n_) throw std::out_of_range("SparseSpd: bad index");
+  ti_.push_back(i);
+  tj_.push_back(i);
+  tv_.push_back(value);
+}
+
+void SparseSpd::finalize() {
+  if (finalized_) return;
+  // Count entries per row (off-diagonals stamped once become two entries).
+  std::vector<std::size_t> counts(n_ + 1, 0);
+  for (std::size_t k = 0; k < ti_.size(); ++k) {
+    ++counts[ti_[k] + 1];
+    if (ti_[k] != tj_[k]) ++counts[tj_[k] + 1];
+  }
+  rowPtr_.assign(n_ + 1, 0);
+  for (std::size_t i = 0; i < n_; ++i) rowPtr_[i + 1] = rowPtr_[i] + counts[i + 1];
+  col_.assign(rowPtr_[n_], 0);
+  val_.assign(rowPtr_[n_], 0.0);
+  std::vector<std::size_t> cursor(rowPtr_.begin(), rowPtr_.end() - 1);
+  auto place = [&](std::size_t r, std::size_t c, double v) {
+    col_[cursor[r]] = c;
+    val_[cursor[r]] = v;
+    ++cursor[r];
+  };
+  for (std::size_t k = 0; k < ti_.size(); ++k) {
+    place(ti_[k], tj_[k], tv_[k]);
+    if (ti_[k] != tj_[k]) place(tj_[k], ti_[k], tv_[k]);
+  }
+  ti_.clear();
+  tj_.clear();
+  tv_.clear();
+  ti_.shrink_to_fit();
+  tj_.shrink_to_fit();
+  tv_.shrink_to_fit();
+
+  // Merge duplicates within each row (sort by column, accumulate).
+  std::vector<std::size_t> newRowPtr(n_ + 1, 0);
+  std::size_t write = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t lo = rowPtr_[r], hi = rowPtr_[r + 1];
+    std::vector<std::pair<std::size_t, double>> row;
+    row.reserve(hi - lo);
+    for (std::size_t k = lo; k < hi; ++k) row.emplace_back(col_[k], val_[k]);
+    std::sort(row.begin(), row.end());
+    std::size_t rowStart = write;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (write > rowStart && col_[write - 1] == row[k].first) {
+        val_[write - 1] += row[k].second;
+      } else {
+        col_[write] = row[k].first;
+        val_[write] = row[k].second;
+        ++write;
+      }
+    }
+    newRowPtr[r + 1] = write;
+  }
+  rowPtr_ = std::move(newRowPtr);
+  col_.resize(write);
+  val_.resize(write);
+
+  diag_.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      if (col_[k] == r) diag_[r] = val_[k];
+    }
+  }
+  finalized_ = true;
+}
+
+void SparseSpd::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  y.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      sum += val_[k] * x[col_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+double SparseSpd::diagonal(std::size_t i) const { return diag_.at(i); }
+
+CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
+                 double relTolerance, int maxIterations) {
+  if (!a.finalized()) throw std::logic_error("solveCg: matrix not finalized");
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("solveCg: size mismatch");
+
+  CgResult res;
+  res.x.assign(n, 0.0);
+  std::vector<double> r = b;
+  std::vector<double> z(n), p(n), ap(n);
+
+  auto dot = [](const std::vector<double>& u, const std::vector<double>& v) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) s += u[i] * v[i];
+    return s;
+  };
+  const double bNorm = std::sqrt(dot(b, b));
+  if (bNorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
+  p = z;
+  double rz = dot(r, z);
+
+  for (int it = 0; it < maxIterations; ++it) {
+    a.multiply(p, ap);
+    const double alpha = rz / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    res.iterations = it + 1;
+    const double rNorm = std::sqrt(dot(r, r));
+    res.residualNorm = rNorm;
+    if (rNorm <= relTolerance * bNorm) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace nano::powergrid

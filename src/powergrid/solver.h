@@ -1,0 +1,55 @@
+// Sparse symmetric-positive-definite linear solver (Jacobi-preconditioned
+// conjugate gradients) for power-grid nodal analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nano::powergrid {
+
+/// Symmetric sparse matrix assembled by stamps (duplicate entries add).
+/// Only build via addEntry/addDiagonal; finalize() compresses to CSR.
+class SparseSpd {
+ public:
+  explicit SparseSpd(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Stamp value at (i, j) and (j, i); i != j.
+  void addOffDiagonal(std::size_t i, std::size_t j, double value);
+  void addDiagonal(std::size_t i, double value);
+
+  /// Compress triplets to CSR; further stamping is rejected.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  [[nodiscard]] double diagonal(std::size_t i) const;
+
+ private:
+  std::size_t n_;
+  bool finalized_ = false;
+  // Triplet storage during assembly (upper triangle + diagonal).
+  std::vector<std::size_t> ti_, tj_;
+  std::vector<double> tv_;
+  // CSR after finalize (full matrix).
+  std::vector<std::size_t> rowPtr_, col_;
+  std::vector<double> val_;
+  std::vector<double> diag_;
+};
+
+/// CG result.
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double residualNorm = 0.0;
+  bool converged = false;
+};
+
+/// Solve A x = b with Jacobi-preconditioned CG.
+CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
+                 double relTolerance = 1e-9, int maxIterations = 20000);
+
+}  // namespace nano::powergrid

@@ -1,0 +1,96 @@
+#include "signaling/comparison.h"
+
+#include <cmath>
+
+namespace nano::signaling {
+
+namespace {
+
+NoiseScenario scenarioFor(const tech::TechNode& node, double length,
+                          double victimSwing, double commonModeRejection,
+                          bool shielded) {
+  NoiseScenario s;
+  s.aggressorSwing = node.vdd;  // neighbors are full-swing signals
+  s.victimSwing = victimSwing;
+  s.receiverThresholdFraction = 0.5;
+  s.commonModeRejection = commonModeRejection;
+  s.shielded = shielded;
+  s.length = std::min(length, 2e-3);  // coupled run length before a twist/jog
+  s.aggressorEdgeRate = node.vdd / (50e-12);  // ~50 ps global edges
+  return s;
+}
+
+StrategyScore score(std::string name, const tech::TechNode& node,
+                    const LinkReport& link, const NoiseReport& noise,
+                    double activity) {
+  StrategyScore s;
+  s.name = std::move(name);
+  s.link = link;
+  s.noise = noise;
+  s.powerAtGlobalClock = link.averagePower(node.clockGlobal, activity);
+  s.energyDelayProduct = link.energyPerTransition * link.delay;
+  return s;
+}
+
+}  // namespace
+
+std::vector<StrategyScore> compareStrategies(const tech::TechNode& node,
+                                             double length, double activity) {
+  if (length <= 0) length = std::sqrt(node.dieArea);  // die crossing
+  const auto rc = interconnect::computeWireRc(interconnect::topLevelWire(node));
+
+  std::vector<StrategyScore> out;
+
+  // 1. Full-swing repeated CMOS (shielded long line).
+  {
+    const LinkReport link = analyzeFullSwingLink(node, rc, length);
+    const NoiseReport noise = estimateNoise(
+        rc, scenarioFor(node, length, node.vdd, 1.0, /*shielded=*/true));
+    out.push_back(score("full-swing repeated", node, link, noise, activity));
+  }
+  // 2. Low-swing single-ended (shielded).
+  {
+    LowSwingConfig cfg;
+    cfg.differential = false;
+    cfg.shielded = true;
+    const LinkReport link = analyzeLowSwingLink(node, rc, length, cfg);
+    const double vswing = cfg.swingFraction * node.vdd;
+    const NoiseReport noise = estimateNoise(
+        rc, scenarioFor(node, length, vswing, 1.0, /*shielded=*/true));
+    out.push_back(score("low-swing single-ended", node, link, noise, activity));
+  }
+  // 3. Low-swing differential (shielded): receiver rejects common mode.
+  {
+    LowSwingConfig cfg;
+    cfg.differential = true;
+    cfg.shielded = true;
+    const LinkReport link = analyzeLowSwingLink(node, rc, length, cfg);
+    const double vswing = cfg.swingFraction * node.vdd;
+    const NoiseReport noise = estimateNoise(
+        rc, scenarioFor(node, length, vswing, 0.1, /*shielded=*/true));
+    out.push_back(score("low-swing differential", node, link, noise, activity));
+  }
+  return out;
+}
+
+BusComparison compareBus(const tech::TechNode& node, int bits, double length,
+                         double activity) {
+  const auto scores = compareStrategies(node, length, activity);
+  BusComparison cmp;
+  cmp.fullSwing = scores[0];
+  cmp.lowSwingDifferential = scores[2];
+  const double n = static_cast<double>(bits);
+  cmp.fullSwing.powerAtGlobalClock *= n;
+  cmp.fullSwing.link.peakSupplyCurrent *= n;
+  cmp.lowSwingDifferential.powerAtGlobalClock *= n;
+  cmp.lowSwingDifferential.link.peakSupplyCurrent *= n;
+  cmp.powerRatio = cmp.fullSwing.powerAtGlobalClock /
+                   cmp.lowSwingDifferential.powerAtGlobalClock;
+  cmp.peakCurrentRatio = cmp.fullSwing.link.peakSupplyCurrent /
+                         cmp.lowSwingDifferential.link.peakSupplyCurrent;
+  cmp.trackRatio = cmp.lowSwingDifferential.link.routingTracks /
+                   cmp.fullSwing.link.routingTracks;
+  return cmp;
+}
+
+}  // namespace nano::signaling

@@ -1,0 +1,45 @@
+// Side-by-side comparison of global signaling strategies for a cross-chip
+// link: conventional full-swing repeated CMOS vs. low-swing differential
+// (paper Section 2.2, Alpha 21264 reference design).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "signaling/lowswing.h"
+#include "signaling/noise.h"
+#include "tech/itrs.h"
+
+namespace nano::signaling {
+
+/// One strategy's scorecard for a given link.
+struct StrategyScore {
+  std::string name;
+  LinkReport link;
+  NoiseReport noise;
+  double powerAtGlobalClock = 0.0;  ///< W at node global clock, activity 0.15
+  double energyDelayProduct = 0.0;  ///< J*s
+};
+
+/// Compare strategies on a die-crossing link (or `length` if given).
+/// Returns scores for: full-swing repeated, low-swing single-ended,
+/// low-swing differential (shielded).
+std::vector<StrategyScore> compareStrategies(const tech::TechNode& node,
+                                             double length = -1.0,
+                                             double activity = 0.15);
+
+/// Bus-level rollup: power of an n-bit cross-chip bus under each strategy,
+/// plus peak current (the di/dt driver for the power grid); reproduces the
+/// Alpha-style "worst-case power reduced significantly by limiting the
+/// swing to 10 % of Vdd" observation.
+struct BusComparison {
+  StrategyScore fullSwing;
+  StrategyScore lowSwingDifferential;
+  double powerRatio = 0.0;        ///< full-swing / low-swing
+  double peakCurrentRatio = 0.0;  ///< full-swing / low-swing
+  double trackRatio = 0.0;        ///< low-swing / full-swing routing tracks
+};
+BusComparison compareBus(const tech::TechNode& node, int bits, double length,
+                         double activity = 0.25);
+
+}  // namespace nano::signaling

@@ -1,0 +1,90 @@
+#include "signaling/lowswing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "device/gate_model.h"
+
+namespace nano::signaling {
+
+namespace {
+// Sense-amplifier bias current when idle (clocked sense amps draw little;
+// this covers the keeper/preamp), A.
+constexpr double kSenseAmpBias = 2e-6;
+// Wire-diffusion coefficient to a low (~10 % of final) threshold at the far
+// end of a distributed RC line: much smaller than the 0.377 needed for the
+// 50 % point.
+constexpr double kLowThresholdDiffusion = 0.2;
+// Number of repeater stages along a full-swing line that draw their peak
+// current simultaneously as an edge propagates.
+constexpr double kSimultaneousStages = 2.0;
+}  // namespace
+
+LinkReport analyzeLowSwingLink(const tech::TechNode& node,
+                               const interconnect::WireRc& rc, double length,
+                               const LowSwingConfig& config) {
+  if (length <= 0) throw std::invalid_argument("analyzeLowSwingLink: length");
+  if (config.swingFraction <= 0 || config.swingFraction > 1.0) {
+    throw std::invalid_argument("analyzeLowSwingLink: swingFraction");
+  }
+  const auto driver = interconnect::RepeaterDriver::fromNode(node);
+  const double vth = device::solveVthForIon(node, node.ionTarget);
+  const device::InverterModel refInv(node, vth, node.vdd);
+
+  LinkReport rep;
+  const double vswing = config.swingFraction * node.vdd;
+  const double cWire = rc.totalCapPerM() * length;
+  const double rWire = rc.resistancePerM * length;
+
+  // Driver behaves as a (saturated) current source until the line reaches
+  // the clamped swing; the receiver fires at half swing.
+  const double idrv = 0.5 * node.vdd / (driver.unitResistance / config.driverSize);
+  const double chargeTime = cWire * (0.5 * vswing) / idrv;
+  const double diffusionTime = kLowThresholdDiffusion * rWire * cWire;
+  const double senseDelay = config.receiverDelayFo4 * refInv.fo4Delay();
+  rep.delay = chargeTime + diffusionTime + senseDelay;
+
+  // Per transition: one wire of the (differential) pair slews by Vswing,
+  // charge drawn from the full supply; plus the sense-amp regeneration.
+  const double receiverEnergy =
+      config.receiverEnergyFactor * refInv.switchingEnergy(refInv.inputCap());
+  rep.energyPerTransition = cWire * vswing * node.vdd + receiverEnergy;
+
+  rep.peakSupplyCurrent = idrv;
+  // Tracks: signal (+complement) (+ shared shield when shielded).
+  rep.routingTracks = config.differential ? (config.shielded ? 3.0 : 2.0)
+                                          : (config.shielded ? 2.0 : 1.0);
+  rep.staticPower = kSenseAmpBias * node.vdd +
+                    config.driverSize * driver.unitLeakage;
+  return rep;
+}
+
+LinkReport analyzeFullSwingLink(const tech::TechNode& node,
+                                const interconnect::WireRc& rc, double length) {
+  if (length <= 0) throw std::invalid_argument("analyzeFullSwingLink: length");
+  const auto driver = interconnect::RepeaterDriver::fromNode(node);
+  const auto design = interconnect::optimalRepeatersNumeric(driver, rc);
+
+  LinkReport rep;
+  rep.delay = interconnect::repeatedLineDelay(driver, rc, design, length);
+
+  const double nRep = interconnect::repeaterCountForLength(design, length);
+  const double cWire = rc.totalCapPerM() * length;
+  const double cRep =
+      nRep * design.size * (driver.unitInputCap + driver.unitOutputCap);
+  rep.energyPerTransition = (cWire + cRep) * node.vdd * node.vdd;
+
+  // As the edge flies down the line a couple of stages conduct their peak
+  // simultaneously.
+  const double stagePeak = 0.5 * node.vdd / (driver.unitResistance / design.size);
+  rep.peakSupplyCurrent = kSimultaneousStages * stagePeak;
+
+  // The paper notes long full-swing lines need shielding against coupling
+  // too: one shield per signal.
+  rep.routingTracks = 2.0;
+  rep.staticPower = nRep * design.size * driver.unitLeakage;
+  return rep;
+}
+
+}  // namespace nano::signaling

@@ -1,0 +1,51 @@
+// Low-swing and differential global signaling models (paper Section 2.2):
+// drivers that move long wires through only a fraction of Vdd, paired with
+// sense-amplifier receivers — the Alpha 21264-style alternative to
+// full-swing CMOS repeaters.
+#pragma once
+
+#include "interconnect/repeater.h"
+#include "interconnect/wire.h"
+#include "tech/itrs.h"
+
+namespace nano::signaling {
+
+/// Configuration of a low-swing link.
+struct LowSwingConfig {
+  double swingFraction = 0.10;  ///< Vswing / Vdd (Alpha 21264 used ~10 %)
+  bool differential = true;     ///< two complementary wires + sense amp
+  bool shielded = true;         ///< one grounded shield per signal (pair)
+  double driverSize = 64.0;     ///< driver strength, multiples of unit inverter
+  /// Sense-amp overhead per receive event, as a multiple of the energy a
+  /// minimum inverter takes to switch (receiver preamp + regeneration).
+  double receiverEnergyFactor = 25.0;
+  /// Sense-amp resolution delay in FO4 units of the node.
+  double receiverDelayFo4 = 2.0;
+};
+
+/// Electrical report for one link implementation over a given length.
+struct LinkReport {
+  double delay = 0.0;           ///< s, driver in to receiver out
+  double energyPerTransition = 0.0;  ///< J drawn from the supply per event
+  double peakSupplyCurrent = 0.0;    ///< A, worst instantaneous draw
+  double routingTracks = 0.0;   ///< minimum-pitch track equivalents used
+  double staticPower = 0.0;     ///< W (sense-amp bias + driver leakage)
+  /// Average power at clock `freq` and activity `activity` (transitions
+  /// per cycle).
+  [[nodiscard]] double averagePower(double freq, double activity) const {
+    return activity * energyPerTransition * freq + staticPower;
+  }
+};
+
+/// Analyze a low-swing link of `length` on wire `rc` in `node`.
+LinkReport analyzeLowSwingLink(const tech::TechNode& node,
+                               const interconnect::WireRc& rc, double length,
+                               const LowSwingConfig& config = {});
+
+/// Analyze the conventional full-swing repeated link over the same wire,
+/// using optimal repeaters; reported in the same LinkReport terms so the
+/// two can be tabulated side by side.
+LinkReport analyzeFullSwingLink(const tech::TechNode& node,
+                                const interconnect::WireRc& rc, double length);
+
+}  // namespace nano::signaling

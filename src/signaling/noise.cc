@@ -1,0 +1,45 @@
+#include "signaling/noise.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nano::signaling {
+
+namespace {
+constexpr double kShieldCapacitiveReduction = 5.0;
+constexpr double kShieldInductiveReduction = 2.0;
+// Mutual / self inductance ratio for adjacent same-layer wires.
+constexpr double kMutualCouplingFactor = 0.6;
+}  // namespace
+
+NoiseReport estimateNoise(const interconnect::WireRc& rc,
+                          const NoiseScenario& s) {
+  if (s.length <= 0) throw std::invalid_argument("estimateNoise: length");
+  NoiseReport rep;
+
+  // Capacitive: both neighbors switching together, charge divider.
+  const double ctotal = rc.totalCapPerM();
+  double couple = 2.0 * rc.couplingCapPerM;
+  if (s.shielded) couple /= kShieldCapacitiveReduction;
+  const double capNoiseRaw = (couple / ctotal) * s.aggressorSwing;
+
+  // Inductive: aggressor current ramp I = C * dV/dt over its length; the
+  // victim sees M * dI/dt ~ M * C * d2V/dt2 ~ approximated with the edge
+  // completing in (swing / edgeRate).
+  const double edgeTime = s.aggressorSwing / s.aggressorEdgeRate;
+  const double aggressorPeakCurrent =
+      ctotal * s.length * s.aggressorEdgeRate;  // C * dV/dt
+  double mutual = kMutualCouplingFactor * s.loopInductancePerM * s.length;
+  if (s.shielded) mutual /= kShieldInductiveReduction;
+  const double indNoiseRaw = mutual * aggressorPeakCurrent / edgeTime;
+
+  // Differential receivers reject the common-mode part of both couplings.
+  rep.capacitiveNoise = s.commonModeRejection * capNoiseRaw;
+  rep.inductiveNoise = s.commonModeRejection * indNoiseRaw;
+  rep.totalNoise = rep.capacitiveNoise + rep.inductiveNoise;
+  rep.noiseMargin =
+      s.receiverThresholdFraction * s.victimSwing - rep.totalNoise;
+  return rep;
+}
+
+}  // namespace nano::signaling

@@ -1,0 +1,42 @@
+// Signal-integrity estimates for global signaling (paper Section 2.2):
+// capacitive crosstalk, inductive coupling, and the common-mode rejection
+// advantage of differential links.
+#pragma once
+
+#include "interconnect/wire.h"
+
+namespace nano::signaling {
+
+/// Crosstalk/noise figures for a victim wire, in volts.
+struct NoiseReport {
+  double capacitiveNoise = 0.0;  ///< peak coupled noise from neighbors, V
+  double inductiveNoise = 0.0;   ///< L*di/dt noise over the line, V
+  double totalNoise = 0.0;       ///< combined (sum), V
+  double noiseMargin = 0.0;      ///< receiver margin minus noise, V
+  [[nodiscard]] bool passes() const { return noiseMargin > 0.0; }
+};
+
+/// Parameters of a noise scenario.
+struct NoiseScenario {
+  double aggressorSwing = 1.0;     ///< V, voltage step on each neighbor
+  double victimSwing = 1.0;        ///< V, the signal swing being detected
+  double receiverThresholdFraction = 0.5;  ///< trip point as fraction of swing
+  /// Residual sensitivity of the receiver to common-mode noise: 1.0 for a
+  /// single-ended receiver, ~0.1 for a differential pair (mismatch floor).
+  double commonModeRejection = 1.0;
+  bool shielded = false;           ///< grounded shield between aggressors
+  double length = 1e-3;            ///< m, coupled length
+  double loopInductancePerM = 4e-7;///< H/m effective loop inductance
+  double aggressorEdgeRate = 5e10; ///< V/s (dV/dt of the aggressor)
+};
+
+/// Estimate coupled noise on a victim of per-length parasitics `rc`.
+/// Capacitive noise uses the charge-divider peak Ccouple/Ctotal * swing;
+/// shields cut coupling ~5x. Inductive noise is M * dI/dt with the
+/// aggressor current inferred from its capacitive load; shields help less
+/// against inductive coupling (~2x), which is why the paper argues for
+/// differential signaling on long lines.
+NoiseReport estimateNoise(const interconnect::WireRc& rc,
+                          const NoiseScenario& scenario);
+
+}  // namespace nano::signaling

@@ -1,0 +1,274 @@
+#include "sim/circuit_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::sim {
+
+void Circuit::reserveNode(int id) {
+  if (id < 0) throw std::invalid_argument("reserveNode: negative id");
+  maxNode_ = std::max(maxNode_, id);
+}
+
+void Circuit::add(const Resistor& r) {
+  reserveNode(r.a);
+  reserveNode(r.b);
+  resistors_.push_back(r);
+}
+void Circuit::add(const Capacitor& c) {
+  reserveNode(c.a);
+  reserveNode(c.b);
+  capacitors_.push_back(c);
+}
+void Circuit::add(const Inductor& l) {
+  if (l.inductance <= 0) throw std::invalid_argument("Circuit::add: L <= 0");
+  reserveNode(l.a);
+  reserveNode(l.b);
+  inductors_.push_back(l);
+}
+void Circuit::add(const VoltageSource& v) {
+  reserveNode(v.pos);
+  reserveNode(v.neg);
+  vsources_.push_back(v);
+}
+void Circuit::add(const CurrentSource& i) {
+  reserveNode(i.from);
+  reserveNode(i.to);
+  isources_.push_back(i);
+}
+void Circuit::add(const MosfetElement& m) {
+  if (!m.model) throw std::invalid_argument("Circuit::add: MOSFET without model");
+  reserveNode(m.drain);
+  reserveNode(m.gate);
+  reserveNode(m.source);
+  mosfets_.push_back(m);
+}
+
+void Circuit::addInverter(int in, int out, int vddNode,
+                          const std::shared_ptr<const device::Mosfet>& model,
+                          double widthN, double widthP) {
+  MosfetElement n;
+  n.drain = out;
+  n.gate = in;
+  n.source = kGround;
+  n.width = widthN;
+  n.type = MosType::Nmos;
+  n.model = model;
+  add(n);
+  MosfetElement p;
+  p.drain = out;
+  p.gate = in;
+  p.source = vddNode;
+  p.width = widthP;
+  p.type = MosType::Pmos;
+  p.model = model;
+  add(p);
+}
+
+double TransientResult::at(int node, double t) const {
+  if (time.empty()) throw std::logic_error("TransientResult::at: empty");
+  if (t <= time.front()) return voltages.front()[static_cast<std::size_t>(node)];
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    if (t <= time[i]) {
+      const double frac = (t - time[i - 1]) / (time[i] - time[i - 1]);
+      const double v0 = voltages[i - 1][static_cast<std::size_t>(node)];
+      const double v1 = voltages[i][static_cast<std::size_t>(node)];
+      return v0 + frac * (v1 - v0);
+    }
+  }
+  return voltages.back()[static_cast<std::size_t>(node)];
+}
+
+double TransientResult::crossingTime(int node, double level, bool rising,
+                                     double after) const {
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    if (time[i] < after) continue;
+    const double v0 = voltages[i - 1][static_cast<std::size_t>(node)];
+    const double v1 = voltages[i][static_cast<std::size_t>(node)];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (crossed) {
+      const double frac = (level - v0) / (v1 - v0);
+      return time[i - 1] + frac * (time[i] - time[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+Simulator::Simulator(const Circuit& circuit, SimOptions options)
+    : circuit_(&circuit), options_(options), caps_(circuit.capacitors()) {
+  // Intrinsic device parasitics, matching the analytic gate model's
+  // accounting: gate cap = Coxe*W*Leff*(1 + overlap 0.4), drain junction
+  // cap = 0.6x the gate cap.
+  for (const auto& m : circuit.mosfets()) {
+    const double cg = m.model->coxElectrical() * m.width *
+                      m.model->params().leff * 1.4;
+    caps_.push_back(Capacitor{m.gate, Circuit::kGround, cg, 0.0});
+    caps_.push_back(Capacitor{m.drain, Circuit::kGround, 0.6 * cg, 0.0});
+  }
+}
+
+Simulator::SolveState Simulator::newtonSolve(double t, double dt,
+                                             const SolveState& prev) {
+  const Circuit& ckt = *circuit_;
+  const std::size_t nNodes = static_cast<std::size_t>(ckt.nodeCount());
+  const std::size_t nV = ckt.vsources().size();
+  const std::size_t nL = ckt.inductors().size();
+  const std::size_t unknowns = (nNodes - 1) + nV + nL;
+  MnaSystem sys(unknowns);
+
+  SolveState state;
+  state.v = prev.v;
+  state.v.resize(nNodes, 0.0);
+  state.branch.assign(nV + nL, 0.0);
+
+  const bool transientMode = dt > 0;
+
+  for (int iter = 0; iter < options_.maxNewton; ++iter) {
+    sys.clear();
+    // gmin to ground for numerical robustness.
+    for (std::size_t n = 1; n < nNodes; ++n) {
+      sys.stampConductance(static_cast<int>(n), 0, options_.gmin);
+    }
+    for (const auto& r : ckt.resistors()) {
+      sys.stampConductance(r.a, r.b, 1.0 / r.resistance);
+    }
+    if (transientMode) {
+      // Trapezoidal capacitor companion: geq = 2C/dt with a history source.
+      for (std::size_t k = 0; k < caps_.size(); ++k) {
+        const auto& c = caps_[k];
+        const double geq = 2.0 * c.capacitance / dt;
+        const double vab = prev.v[static_cast<std::size_t>(c.a)] -
+                           prev.v[static_cast<std::size_t>(c.b)];
+        const double ieq = geq * vab + prev.capCurrent[k];
+        sys.stampConductance(c.a, c.b, geq);
+        sys.stampCurrent(c.b, c.a, ieq);
+      }
+    }
+    for (const auto& i : ckt.isources()) {
+      sys.stampCurrent(i.from, i.to, i.waveform.at(t));
+    }
+    // MOSFETs: linearize around the current iterate.
+    constexpr double kDeltaV = 1e-3;
+    for (const auto& m : ckt.mosfets()) {
+      const double vd = state.v[static_cast<std::size_t>(m.drain)];
+      const double vg = state.v[static_cast<std::size_t>(m.gate)];
+      const double vs = state.v[static_cast<std::size_t>(m.source)];
+      const double i0 = mosfetCurrent(m, vd, vg, vs);
+      const double gd = (mosfetCurrent(m, vd + kDeltaV, vg, vs) - i0) / kDeltaV;
+      const double gg = (mosfetCurrent(m, vd, vg + kDeltaV, vs) - i0) / kDeltaV;
+      const double gs = (mosfetCurrent(m, vd, vg, vs + kDeltaV) - i0) / kDeltaV;
+      const double ieq = i0 - gd * vd - gg * vg - gs * vs;
+      auto stampRow = [&](int node, double sign) {
+        if (node <= 0) return;
+        const std::size_t row = static_cast<std::size_t>(node - 1);
+        if (m.drain > 0) sys.addA(row, static_cast<std::size_t>(m.drain - 1), sign * gd);
+        if (m.gate > 0) sys.addA(row, static_cast<std::size_t>(m.gate - 1), sign * gg);
+        if (m.source > 0) sys.addA(row, static_cast<std::size_t>(m.source - 1), sign * gs);
+        sys.addB(row, -sign * ieq);
+      };
+      stampRow(m.drain, 1.0);
+      stampRow(m.source, -1.0);
+    }
+    // Voltage sources: branch-current unknowns.
+    for (std::size_t k = 0; k < nV; ++k) {
+      const auto& src = ckt.vsources()[k];
+      const std::size_t branch = (nNodes - 1) + k;
+      if (src.pos > 0) {
+        sys.addA(static_cast<std::size_t>(src.pos - 1), branch, 1.0);
+        sys.addA(branch, static_cast<std::size_t>(src.pos - 1), 1.0);
+      }
+      if (src.neg > 0) {
+        sys.addA(static_cast<std::size_t>(src.neg - 1), branch, -1.0);
+        sys.addA(branch, static_cast<std::size_t>(src.neg - 1), -1.0);
+      }
+      sys.addB(branch, src.waveform.at(t));
+    }
+    // Inductors: branch-current unknowns. Transient (trapezoidal):
+    //   i - (dt/2L)*(va - vb) = i_prev + (dt/2L)*(va_prev - vb_prev)
+    // DC: short circuit, va - vb = 0.
+    for (std::size_t k = 0; k < nL; ++k) {
+      const auto& ind = ckt.inductors()[k];
+      const std::size_t branch = (nNodes - 1) + nV + k;
+      // KCL: current i flows out of node a into node b.
+      if (ind.a > 0) sys.addA(static_cast<std::size_t>(ind.a - 1), branch, 1.0);
+      if (ind.b > 0) sys.addA(static_cast<std::size_t>(ind.b - 1), branch, -1.0);
+      if (transientMode) {
+        const double coef = dt / (2.0 * ind.inductance);
+        sys.addA(branch, branch, 1.0);
+        if (ind.a > 0) sys.addA(branch, static_cast<std::size_t>(ind.a - 1), -coef);
+        if (ind.b > 0) sys.addA(branch, static_cast<std::size_t>(ind.b - 1), coef);
+        const double vabPrev = prev.v[static_cast<std::size_t>(ind.a)] -
+                               prev.v[static_cast<std::size_t>(ind.b)];
+        sys.addB(branch, prev.branch[nV + k] + coef * vabPrev);
+      } else {
+        if (ind.a > 0) sys.addA(branch, static_cast<std::size_t>(ind.a - 1), 1.0);
+        if (ind.b > 0) sys.addA(branch, static_cast<std::size_t>(ind.b - 1), -1.0);
+        // Degenerate when both terminals are grounded; keep it regular.
+        if (ind.a <= 0 && ind.b <= 0) sys.addA(branch, branch, 1.0);
+      }
+    }
+
+    const std::vector<double> x = sys.solve();
+    double worst = 0.0;
+    for (std::size_t n = 1; n < nNodes; ++n) {
+      double update = x[n - 1] - state.v[n];
+      update = std::clamp(update, -options_.maxUpdate, options_.maxUpdate);
+      worst = std::max(worst, std::abs(update));
+      state.v[n] += update;
+    }
+    for (std::size_t k = 0; k < nV + nL; ++k) {
+      state.branch[k] = x[(nNodes - 1) + k];
+    }
+    if (worst < options_.vTolerance) break;
+  }
+
+  state.capCurrent.assign(caps_.size(), 0.0);
+  if (transientMode) {
+    for (std::size_t k = 0; k < caps_.size(); ++k) {
+      const auto& c = caps_[k];
+      const double geq = 2.0 * c.capacitance / dt;
+      const double vab = state.v[static_cast<std::size_t>(c.a)] -
+                         state.v[static_cast<std::size_t>(c.b)];
+      const double vabPrev = prev.v[static_cast<std::size_t>(c.a)] -
+                             prev.v[static_cast<std::size_t>(c.b)];
+      state.capCurrent[k] = geq * (vab - vabPrev) - prev.capCurrent[k];
+    }
+  }
+  return state;
+}
+
+std::vector<double> Simulator::dcOperatingPoint(double t) {
+  SolveState zero;
+  zero.v.assign(static_cast<std::size_t>(circuit_->nodeCount()), 0.0);
+  zero.branch.assign(circuit_->vsources().size() + circuit_->inductors().size(),
+                     0.0);
+  zero.capCurrent.assign(caps_.size(), 0.0);
+  return newtonSolve(t, -1.0, zero).v;
+}
+
+TransientResult Simulator::transient(double tStop, double dt) {
+  if (tStop <= 0 || dt <= 0) throw std::invalid_argument("transient: bad times");
+  TransientResult res;
+  SolveState zero;
+  zero.v.assign(static_cast<std::size_t>(circuit_->nodeCount()), 0.0);
+  zero.branch.assign(circuit_->vsources().size() + circuit_->inductors().size(),
+                     0.0);
+  zero.capCurrent.assign(caps_.size(), 0.0);
+  SolveState state = newtonSolve(0.0, -1.0, zero);
+  state.capCurrent.assign(caps_.size(), 0.0);
+
+  res.time.push_back(0.0);
+  res.voltages.push_back(state.v);
+  res.branchCurrents.push_back(state.branch);
+  for (double t = dt; t <= tStop + 0.5 * dt; t += dt) {
+    state = newtonSolve(t, dt, state);
+    res.time.push_back(t);
+    res.voltages.push_back(state.v);
+    res.branchCurrents.push_back(state.branch);
+  }
+  return res;
+}
+
+}  // namespace nano::sim

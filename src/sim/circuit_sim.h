@@ -1,0 +1,110 @@
+// Spice-lite circuit simulator: MNA with voltage-source branch currents,
+// Newton iteration for the MOSFETs, trapezoidal integration for the
+// capacitors. Used to validate the analytic gate/wire delay models at the
+// waveform level (inverter chains, low-swing lines, RC steps).
+#pragma once
+
+#include <vector>
+
+#include "sim/elements.h"
+#include "sim/mna.h"
+
+namespace nano::sim {
+
+/// Element container. Node 0 is ground; allocate others with node().
+class Circuit {
+ public:
+  static constexpr int kGround = 0;
+
+  /// Allocate a new node id.
+  int node() { return ++maxNode_; }
+  /// Declare an externally chosen node id as in use.
+  void reserveNode(int id);
+
+  void add(const Resistor& r);
+  void add(const Capacitor& c);
+  void add(const Inductor& l);
+  void add(const VoltageSource& v);
+  void add(const CurrentSource& i);
+  void add(const MosfetElement& m);
+
+  /// Convenience: a static CMOS inverter between `vddNode` and ground.
+  void addInverter(int in, int out, int vddNode,
+                   const std::shared_ptr<const device::Mosfet>& model,
+                   double widthN, double widthP);
+
+  [[nodiscard]] int nodeCount() const { return maxNode_ + 1; }
+  [[nodiscard]] const std::vector<Resistor>& resistors() const { return resistors_; }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  [[nodiscard]] const std::vector<Inductor>& inductors() const { return inductors_; }
+  [[nodiscard]] const std::vector<VoltageSource>& vsources() const { return vsources_; }
+  [[nodiscard]] const std::vector<CurrentSource>& isources() const { return isources_; }
+  [[nodiscard]] const std::vector<MosfetElement>& mosfets() const { return mosfets_; }
+
+ private:
+  int maxNode_ = 0;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<CurrentSource> isources_;
+  std::vector<MosfetElement> mosfets_;
+};
+
+/// Waveform record of a transient run.
+struct TransientResult {
+  std::vector<double> time;
+  std::vector<std::vector<double>> voltages;  ///< [step][node]
+  /// Branch currents per step: first the voltage sources (current flowing
+  /// pos -> neg through the source), then the inductors (a -> b).
+  std::vector<std::vector<double>> branchCurrents;
+
+  /// Voltage of `node` at time t (linear interpolation).
+  [[nodiscard]] double at(int node, double t) const;
+  /// First time after `after` where `node` crosses `level` in the given
+  /// direction; -1 if never.
+  [[nodiscard]] double crossingTime(int node, double level, bool rising,
+                                    double after = 0.0) const;
+};
+
+/// Simulator options.
+struct SimOptions {
+  double gmin = 1e-12;        ///< S to ground at every node
+  int maxNewton = 200;
+  double vTolerance = 1e-7;   ///< V convergence criterion
+  double maxUpdate = 0.3;     ///< V, Newton step damping limit
+};
+
+class Simulator {
+ public:
+  /// Builds the solver over `circuit`. Each MOSFET automatically
+  /// contributes its intrinsic parasitics (gate capacitance with overlap,
+  /// drain junction capacitance) so waveform-level delays include the
+  /// loading the analytic gate model accounts for.
+  explicit Simulator(const Circuit& circuit, SimOptions options = {});
+
+  /// DC operating point with sources evaluated at `t`. Returns node
+  /// voltages indexed by node id (0 == ground).
+  std::vector<double> dcOperatingPoint(double t = 0.0);
+
+  /// Fixed-step trapezoidal transient from the DC point at t = 0.
+  TransientResult transient(double tStop, double dt);
+
+ private:
+  struct SolveState {
+    std::vector<double> v;             ///< node voltages
+    std::vector<double> branch;        ///< V-source then inductor currents
+    std::vector<double> capCurrent;    ///< per capacitor (incl. intrinsic)
+  };
+
+  /// One Newton solve; `dt <= 0` means DC (capacitors open, inductors
+  /// short). `prev` supplies the previous timestep's state.
+  SolveState newtonSolve(double t, double dt, const SolveState& prev);
+
+  const Circuit* circuit_;
+  SimOptions options_;
+  /// Explicit capacitors plus per-MOSFET intrinsic parasitics.
+  std::vector<Capacitor> caps_;
+};
+
+}  // namespace nano::sim

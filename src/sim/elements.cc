@@ -1,0 +1,88 @@
+#include "sim/elements.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::sim {
+
+Waveform Waveform::dc(double value) {
+  return Waveform([value](double) { return value; });
+}
+
+Waveform Waveform::pulse(double v0, double v1, double delay, double rise,
+                         double width, double fall, double period) {
+  return Waveform([=](double t) {
+    if (t < delay) return v0;
+    double tl = t - delay;
+    if (period > 0.0) tl = std::fmod(tl, period);
+    if (tl < rise) return v0 + (v1 - v0) * tl / rise;
+    tl -= rise;
+    if (tl < width) return v1;
+    tl -= width;
+    if (tl < fall) return v1 + (v0 - v1) * tl / fall;
+    return v0;
+  });
+}
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("Waveform::pwl: empty");
+  return Waveform([pts = std::move(points)](double t) {
+    if (t <= pts.front().first) return pts.front().second;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (t <= pts[i].first) {
+        const double frac =
+            (t - pts[i - 1].first) / (pts[i].first - pts[i - 1].first);
+        return pts[i - 1].second + frac * (pts[i].second - pts[i - 1].second);
+      }
+    }
+    return pts.back().second;
+  });
+}
+
+double mosfetCurrent(const MosfetElement& m, double vd, double vg, double vs) {
+  if (!m.model) throw std::invalid_argument("mosfetCurrent: no model");
+  // Returned value is the current flowing from the drain node to the
+  // source node through the channel. PMOS maps onto the NMOS equations
+  // with inverted polarities; devices are treated as symmetric (terminals
+  // swap when reverse-biased).
+  double vgs, vds;
+  double sign;
+  if (m.type == MosType::Nmos) {
+    if (vd >= vs) {
+      vgs = vg - vs;
+      vds = vd - vs;
+      sign = 1.0;
+    } else {
+      vgs = vg - vd;
+      vds = vs - vd;
+      sign = -1.0;
+    }
+  } else {
+    if (vs >= vd) {
+      // Conducting PMOS pulls the drain up: drain->source current < 0.
+      vgs = vs - vg;
+      vds = vs - vd;
+      sign = -1.0;
+    } else {
+      vgs = vd - vg;
+      vds = vd - vs;
+      sign = 1.0;
+    }
+  }
+  const auto& dev = *m.model;
+  // Saturation current (per width), smoothed through subthreshold; the
+  // PMOS shares the NMOS model derated by the mobility ratio.
+  double isat = dev.idsat0(vgs, std::max(vds, 1e-6));
+  if (m.type == MosType::Pmos) isat *= device::kPmosCurrentFactor;
+
+  // Smooth linear/saturation blend: tanh(vds / vdsat).
+  const double vth = dev.vthEffective(std::max(vds, 1e-6));
+  const double vgt = dev.smoothedOverdrive(vgs, vth);
+  const double esatL = dev.esat(vgs) * dev.params().leff;
+  const double vdsat = std::max(vgt * esatL / (vgt + esatL), 10e-3);
+  const double shape = std::tanh(vds / vdsat);
+  return sign * m.width * isat * shape;
+}
+
+}  // namespace nano::sim

@@ -1,0 +1,73 @@
+// Circuit elements for the spice-lite transient simulator. Nodes are
+// integers with ground == 0. Sources take Waveform descriptions; MOSFETs
+// wrap the compact device model with a smooth linear/saturation blend so
+// Newton iteration converges.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "device/mosfet.h"
+
+namespace nano::sim {
+
+/// Time-dependent source value.
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+  /// Pulse: v0 -> v1 at `delay`, linear `rise`, hold `width`, linear fall.
+  static Waveform pulse(double v0, double v1, double delay, double rise,
+                        double width, double fall, double period = 0.0);
+  /// Piecewise linear through (t, v) points (t increasing).
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] double at(double t) const { return fn_(t); }
+
+ private:
+  explicit Waveform(std::function<double(double)> fn) : fn_(std::move(fn)) {}
+  std::function<double(double)> fn_;
+};
+
+struct Resistor {
+  int a = 0, b = 0;
+  double resistance = 1.0;
+};
+
+struct Capacitor {
+  int a = 0, b = 0;
+  double capacitance = 1e-15;
+  double initialVoltage = 0.0;  ///< used when uic is requested
+};
+
+struct Inductor {
+  int a = 0, b = 0;
+  double inductance = 1e-9;
+};
+
+struct VoltageSource {
+  int pos = 0, neg = 0;
+  Waveform waveform = Waveform::dc(0.0);
+};
+
+struct CurrentSource {
+  int from = 0, to = 0;  ///< current flows from `from` to `to` (through src)
+  Waveform waveform = Waveform::dc(0.0);
+};
+
+enum class MosType { Nmos, Pmos };
+
+/// MOSFET instance: wraps a characterized device, scaled by width.
+struct MosfetElement {
+  int drain = 0, gate = 0, source = 0;
+  double width = 1e-6;  ///< m
+  MosType type = MosType::Nmos;
+  std::shared_ptr<const device::Mosfet> model;
+};
+
+/// Smooth large-signal drain current of a MOSFET element (A), positive
+/// into the drain for NMOS conduction. Handles both polarities.
+double mosfetCurrent(const MosfetElement& m, double vd, double vg, double vs);
+
+}  // namespace nano::sim

@@ -1,0 +1,77 @@
+#include "sim/mna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::sim {
+
+MnaSystem::MnaSystem(std::size_t n) : n_(n), a_(n * n, 0.0), b_(n, 0.0) {
+  if (n == 0) throw std::invalid_argument("MnaSystem: empty");
+}
+
+void MnaSystem::clear() {
+  std::fill(a_.begin(), a_.end(), 0.0);
+  std::fill(b_.begin(), b_.end(), 0.0);
+}
+
+void MnaSystem::addA(std::size_t i, std::size_t j, double value) {
+  a_.at(i * n_ + j) += value;
+}
+
+void MnaSystem::addB(std::size_t i, double value) { b_.at(i) += value; }
+
+void MnaSystem::stampConductance(int a, int b, double g) {
+  if (a > 0) addA(static_cast<std::size_t>(a - 1), static_cast<std::size_t>(a - 1), g);
+  if (b > 0) addA(static_cast<std::size_t>(b - 1), static_cast<std::size_t>(b - 1), g);
+  if (a > 0 && b > 0) {
+    addA(static_cast<std::size_t>(a - 1), static_cast<std::size_t>(b - 1), -g);
+    addA(static_cast<std::size_t>(b - 1), static_cast<std::size_t>(a - 1), -g);
+  }
+}
+
+void MnaSystem::stampCurrent(int from, int to, double i) {
+  if (from > 0) addB(static_cast<std::size_t>(from - 1), -i);
+  if (to > 0) addB(static_cast<std::size_t>(to - 1), i);
+}
+
+std::vector<double> MnaSystem::solve() const {
+  std::vector<double> a = a_;
+  std::vector<double> b = b_;
+  const std::size_t n = n_;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[perm[col] * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[perm[r] * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("MnaSystem::solve: singular");
+    std::swap(perm[col], perm[pivot]);
+    const std::size_t p = perm[col];
+    const double diag = a[p * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::size_t rr = perm[r];
+      const double factor = a[rr * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[rr * n + c] -= factor * a[p * n + c];
+      b[rr] -= factor * b[p];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t p = perm[i];
+    double sum = b[p];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a[p * n + c] * x[c];
+    x[i] = sum / a[p * n + i];
+  }
+  return x;
+}
+
+}  // namespace nano::sim

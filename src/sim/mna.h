@@ -1,0 +1,36 @@
+// Dense modified-nodal-analysis matrix and linear solve (partial-pivot
+// Gaussian elimination). Circuits in this library are small (tens to a few
+// hundred nodes), so a dense solver is simpler and fast enough.
+#pragma once
+
+#include <vector>
+
+namespace nano::sim {
+
+/// Dense square matrix with an RHS, sized once.
+class MnaSystem {
+ public:
+  explicit MnaSystem(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void clear();
+  void addA(std::size_t i, std::size_t j, double value);
+  void addB(std::size_t i, double value);
+
+  /// Stamp a conductance between nodes a and b (0 == ground is skipped).
+  /// Node k maps to unknown k-1.
+  void stampConductance(int a, int b, double g);
+  /// Stamp a current source pushing `i` from node `from` into node `to`.
+  void stampCurrent(int from, int to, double i);
+
+  /// Solve A x = b in place; returns the solution. Throws on singular A.
+  [[nodiscard]] std::vector<double> solve() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_;  // row-major n x n
+  std::vector<double> b_;
+};
+
+}  // namespace nano::sim

@@ -1,0 +1,122 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace nano::sta {
+
+using circuit::Netlist;
+
+TimingResult analyze(const Netlist& netlist, double clockPeriod) {
+  const int n = netlist.nodeCount();
+  TimingResult r;
+  r.arrival.assign(static_cast<std::size_t>(n), 0.0);
+  r.required.assign(static_cast<std::size_t>(n),
+                    std::numeric_limits<double>::infinity());
+  r.slack.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Forward pass (node order is topological by construction).
+  std::vector<int> worstFanin(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const auto& node = netlist.node(i);
+    if (node.kind != Netlist::NodeKind::Gate) continue;
+    double worst = 0.0;
+    int worstId = -1;
+    for (int f : node.fanins) {
+      if (r.arrival[static_cast<std::size_t>(f)] >= worst) {
+        worst = r.arrival[static_cast<std::size_t>(f)];
+        worstId = f;
+      }
+    }
+    const double delay = node.cell.delay(netlist.loadCap(i));
+    r.arrival[static_cast<std::size_t>(i)] = worst + delay;
+    worstFanin[static_cast<std::size_t>(i)] = worstId;
+  }
+
+  // Critical endpoint / path delay.
+  double critical = 0.0;
+  int criticalEnd = -1;
+  for (int id : netlist.outputs()) {
+    if (r.arrival[static_cast<std::size_t>(id)] >= critical) {
+      critical = r.arrival[static_cast<std::size_t>(id)];
+      criticalEnd = id;
+    }
+  }
+  r.criticalPathDelay = critical;
+  r.clockPeriod = clockPeriod > 0 ? clockPeriod : critical;
+
+  // Backward pass.
+  for (int id : netlist.outputs()) {
+    r.required[static_cast<std::size_t>(id)] = r.clockPeriod;
+  }
+  for (int i = n; i-- > 0;) {
+    const auto& node = netlist.node(i);
+    for (int f : node.fanins) {
+      const double delay =
+          node.kind == Netlist::NodeKind::Gate
+              ? node.cell.delay(netlist.loadCap(i))
+              : 0.0;
+      r.required[static_cast<std::size_t>(f)] =
+          std::min(r.required[static_cast<std::size_t>(f)],
+                   r.required[static_cast<std::size_t>(i)] - delay);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const double req = r.required[static_cast<std::size_t>(i)];
+    r.slack[static_cast<std::size_t>(i)] =
+        (req == std::numeric_limits<double>::infinity())
+            ? r.clockPeriod  // dangling node: unconstrained
+            : req - r.arrival[static_cast<std::size_t>(i)];
+  }
+
+  // Worst endpoint slack and critical path extraction.
+  r.worstSlack = std::numeric_limits<double>::infinity();
+  for (int id : netlist.outputs()) {
+    r.worstSlack = std::min(r.worstSlack, r.slack[static_cast<std::size_t>(id)]);
+  }
+  if (criticalEnd >= 0) {
+    for (int cur = criticalEnd; cur >= 0;
+         cur = worstFanin[static_cast<std::size_t>(cur)]) {
+      r.criticalPath.push_back(cur);
+      if (netlist.node(cur).kind == Netlist::NodeKind::PrimaryInput) break;
+    }
+    std::reverse(r.criticalPath.begin(), r.criticalPath.end());
+  }
+  return r;
+}
+
+std::vector<double> endpointArrivals(const Netlist& netlist) {
+  const TimingResult r = analyze(netlist);
+  std::vector<double> out;
+  out.reserve(netlist.outputs().size());
+  for (int id : netlist.outputs()) {
+    out.push_back(r.arrival[static_cast<std::size_t>(id)]);
+  }
+  return out;
+}
+
+double fractionOfPathsFasterThan(const TimingResult& timing,
+                                 const Netlist& netlist, double fraction) {
+  if (netlist.outputs().empty()) {
+    throw std::invalid_argument("fractionOfPathsFasterThan: no endpoints");
+  }
+  const double threshold = fraction * timing.clockPeriod;
+  int count = 0;
+  for (int id : netlist.outputs()) {
+    if (timing.arrival[static_cast<std::size_t>(id)] < threshold) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(netlist.outputs().size());
+}
+
+util::Histogram pathDelayHistogram(const TimingResult& timing,
+                                   const Netlist& netlist, int bins) {
+  util::Histogram h(0.0, 1.0, bins);
+  for (int id : netlist.outputs()) {
+    h.add(timing.arrival[static_cast<std::size_t>(id)] / timing.clockPeriod);
+  }
+  return h;
+}
+
+}  // namespace nano::sta

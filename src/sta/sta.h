@@ -1,0 +1,47 @@
+// Static timing analysis over a circuit::Netlist: topological arrival and
+// required times, slacks, the critical path, and the endpoint slack
+// distribution the paper's multi-Vdd argument rests on ("over half of all
+// timing paths commonly use less than half the clock cycle").
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "util/stats.h"
+
+namespace nano::sta {
+
+/// Full timing picture of a netlist at a clock period.
+struct TimingResult {
+  double clockPeriod = 0.0;           ///< s
+  double criticalPathDelay = 0.0;     ///< s
+  std::vector<double> arrival;        ///< per node, s
+  std::vector<double> required;       ///< per node, s
+  std::vector<double> slack;          ///< per node, s
+  std::vector<int> criticalPath;      ///< node ids, input -> endpoint
+  double worstSlack = 0.0;            ///< min over endpoints, s
+
+  [[nodiscard]] bool meetsTiming(double tolerance = 1e-15) const {
+    return worstSlack >= -tolerance;
+  }
+};
+
+/// Analyze `netlist` against `clockPeriod`. Pass clockPeriod <= 0 to time
+/// against the circuit's own critical-path delay (zero worst slack).
+TimingResult analyze(const circuit::Netlist& netlist, double clockPeriod = -1.0);
+
+/// Arrival times at the endpoints (primary outputs), s.
+std::vector<double> endpointArrivals(const circuit::Netlist& netlist);
+
+/// Fraction of endpoints whose path uses less than `fraction` of the clock
+/// period (the paper's slack-profile statistic).
+double fractionOfPathsFasterThan(const TimingResult& timing,
+                                 const circuit::Netlist& netlist,
+                                 double fraction);
+
+/// Endpoint path-delay histogram normalized to the clock period.
+util::Histogram pathDelayHistogram(const TimingResult& timing,
+                                   const circuit::Netlist& netlist,
+                                   int bins = 20);
+
+}  // namespace nano::sta

@@ -1,0 +1,99 @@
+#include "tech/itrs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace nano::tech {
+
+using namespace nano::units;
+
+namespace {
+
+TechNode makeNode(int featureNm, int year, double vdd, double vddAlt,
+                  double toxAngstrom, double leffNm, double ioffItrsNaUm,
+                  double diblVperV, double clockLocalGhz, double dieAreaMm2,
+                  double maxPowerW, double tjMaxC, std::int64_t logicMTx,
+                  double globalPitchUm, double ildK, int levels,
+                  double avgLocalWireUm, double minBumpPitchUm, int padCount,
+                  int vddPads) {
+  TechNode n;
+  n.featureNm = featureNm;
+  n.year = year;
+  n.vdd = vdd;
+  n.vddAlternative = vddAlt;
+  n.toxPhysical = toxAngstrom * angstrom;
+  n.leff = leffNm * nm;
+  n.ionTarget = 750.0 * uA_per_um;
+  n.ioffItrs = ioffItrsNaUm * nA_per_um;
+  // ITRS parasitic source/drain series resistance target: ~180 ohm-um held
+  // roughly flat across the roadmap.
+  n.rsSourceOhmM = 180.0 * ohm_um;
+  n.dibl = diblVperV;
+  n.subthresholdSwing = 85.0 * mV;  // paper's Eq. (4) assumption at 300 K
+  // Body effect weakens as channel doping profiles and junction depths
+  // scale: ~0.22 V/V at 180 nm down to ~0.06 V/V at 35 nm.
+  n.bodyEffect = 0.22 * std::pow(static_cast<double>(featureNm) / 180.0, 0.8);
+  n.clockLocal = clockLocalGhz * GHz;
+  // The paper (Section 2.2) argues global signaling runs slower than local
+  // datapaths; we carry the ITRS across-chip clock as half the local clock.
+  n.clockGlobal = 0.5 * n.clockLocal;
+  n.dieArea = dieAreaMm2 * mm2;
+  n.maxPower = maxPowerW;
+  n.tjMax = fromCelsius(tjMaxC);
+  n.tAmbient = fromCelsius(45.0);  // paper: Tambient ~ 45 C
+  n.logicTransistors = logicMTx * 1'000'000;
+  n.globalWirePitch = globalPitchUm * um;
+  n.globalAspectRatio = 2.0;
+  // Cu with barrier/liner overhead (bulk 1.7 uohm-cm, effective ~2.2).
+  n.metalResistivity = 2.2e-8;
+  n.ildPermittivity = ildK;
+  n.wiringLevels = levels;
+  // Local-wire capacitance stays near 0.2 fF/um across nodes (fringe
+  // dominated); average local net length shrinks with the feature size.
+  n.localWireCapPerM = 0.2 * fF_per_um;
+  n.avgLocalWireLength = avgLocalWireUm * um;
+  n.minBumpPitch = minBumpPitchUm * um;
+  n.itrsPadCount = padCount;
+  n.itrsVddPads = vddPads;
+  // ITRS bump current-carrying capability, ~0.15 A/bump sustained.
+  n.bumpCurrentLimit = 0.15;
+  return n;
+}
+
+std::vector<TechNode> buildRoadmap() {
+  std::vector<TechNode> nodes;
+  //                 node year  Vdd  alt  Tox  Leff Ioff  DIBL  fGHz  die   P    Tj   Mtx   gPit  k    lvl  lwire bump  pads  vddPads
+  nodes.push_back(makeNode(180, 1999, 1.8, 0.0, 25.0, 140.0, 7.0, 0.020, 1.25, 340.0, 90.0, 100.0, 24,   1.20, 3.5, 7,  45.0, 250.0, 1700, 580));
+  nodes.push_back(makeNode(130, 2002, 1.5, 0.0, 19.0, 90.0, 10.0, 0.030, 2.10, 385.0, 130.0, 85.0, 55,   1.00, 3.2, 8,  34.0, 180.0, 2100, 715));
+  nodes.push_back(makeNode(100, 2005, 1.2, 0.0, 15.0, 65.0, 16.0, 0.045, 3.50, 430.0, 160.0, 85.0, 130,  0.80, 2.8, 9,  27.0, 140.0, 2600, 885));
+  nodes.push_back(makeNode(70, 2008, 0.9, 0.0, 12.0, 45.0, 40.0, 0.060, 6.00, 465.0, 170.0, 85.0, 300,  0.65, 2.4, 9,  19.0, 110.0, 3200, 1090));
+  nodes.push_back(makeNode(50, 2011, 0.6, 0.7, 8.0, 32.0, 80.0, 0.080, 10.0, 487.0, 175.0, 85.0, 700,  0.50, 2.1, 10, 14.0, 90.0, 3800, 1290));
+  nodes.push_back(makeNode(35, 2014, 0.6, 0.0, 6.0, 22.0, 160.0, 0.090, 13.5, 560.0, 180.0, 85.0, 1600, 0.40, 1.9, 10, 10.0, 80.0, 4416, 1500));
+  return nodes;
+}
+
+}  // namespace
+
+double TechNode::itrsEffectiveBumpPitch() const {
+  // Pads spread uniformly over the die => pitch = sqrt(area per pad).
+  return std::sqrt(dieArea / static_cast<double>(itrsPadCount));
+}
+
+const std::vector<TechNode>& roadmap() {
+  static const std::vector<TechNode> kRoadmap = buildRoadmap();
+  return kRoadmap;
+}
+
+const TechNode& nodeByFeature(int featureNm) {
+  for (const TechNode& n : roadmap()) {
+    if (n.featureNm == featureNm) return n;
+  }
+  throw std::out_of_range("nodeByFeature: not on roadmap: " +
+                          std::to_string(featureNm) + " nm");
+}
+
+std::array<int, 6> roadmapFeatures() { return {180, 130, 100, 70, 50, 35}; }
+
+}  // namespace nano::tech

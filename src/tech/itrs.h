@@ -1,0 +1,93 @@
+// ITRS 2000-update roadmap database for the six technology nodes the paper
+// analyzes (180, 130, 100, 70, 50, 35 nm). Each TechNode bundles the
+// device, wiring, packaging, and system-level parameters the paper's models
+// consume. Values follow the ITRS 2000 update and the figures quoted in the
+// paper itself (e.g. the 35 nm MPU draws 300 A peak => 180 W at 0.6 V; 4416
+// bumps on the 35 nm die => 356 um effective bump pitch).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nano::tech {
+
+/// One ITRS technology node. All values SI (see util/units.h); per-width
+/// values in A/m (== uA/um) and ohm*m (== ohm*um * 1e-6).
+struct TechNode {
+  int featureNm = 0;       ///< drawn feature size, nm (node name)
+  int year = 0;            ///< ITRS production year
+
+  // Supply / device.
+  double vdd = 0.0;            ///< nominal supply, V
+  double vddAlternative = 0.0; ///< alternative supply studied by the paper (0 if none)
+  double toxPhysical = 0.0;    ///< physical gate-oxide thickness, m
+  double leff = 0.0;           ///< effective (as-etched) gate length, m
+  double ionTarget = 0.0;      ///< NMOS drive-current target, A/m (750 uA/um)
+  double ioffItrs = 0.0;       ///< ITRS off-current projection, A/m
+  double rsSourceOhmM = 0.0;   ///< parasitic source resistance * width, ohm*m
+  double dibl = 0.0;           ///< DIBL coefficient, V of Vth shift per V of Vds
+  double subthresholdSwing = 0.0;  ///< V/decade at 300 K (paper assumes 85 mV)
+  /// Linearized body effect: Vth increase per volt of reverse body bias.
+  /// Shrinks with scaling (paper Section 3.2.1: "body bias is less
+  /// effective at controlling Vth in scaled devices").
+  double bodyEffect = 0.0;
+
+  // System.
+  double clockLocal = 0.0;   ///< on-chip local clock, Hz
+  double clockGlobal = 0.0;  ///< across-chip (global) clock, Hz
+  double dieArea = 0.0;      ///< high-performance MPU die area, m^2
+  double maxPower = 0.0;     ///< max total power, W
+  double tjMax = 0.0;        ///< max junction temperature, K
+  double tAmbient = 0.0;     ///< assumed ambient, K
+  std::int64_t logicTransistors = 0;  ///< logic transistor count
+
+  // Wiring (top / global tier).
+  double globalWirePitch = 0.0;      ///< minimum top-level metal pitch, m
+  double globalAspectRatio = 0.0;    ///< thickness / width of top metal
+  double metalResistivity = 0.0;     ///< effective Cu resistivity (incl. barrier), ohm*m
+  double ildPermittivity = 0.0;      ///< relative dielectric constant of ILD
+  int wiringLevels = 0;
+
+  // Local wiring, used for the "average interconnect load" of Figure 1.
+  double localWireCapPerM = 0.0;     ///< F/m of a typical local wire
+  double avgLocalWireLength = 0.0;   ///< m, average local net length
+
+  // Packaging.
+  double minBumpPitch = 0.0;   ///< minimum manufacturable area-array bump pitch, m
+  int itrsPadCount = 0;        ///< total pads/bumps the ITRS projects will be used
+  int itrsVddPads = 0;         ///< of which Vdd bumps
+  double bumpCurrentLimit = 0.0;  ///< max sustained current per bump, A
+
+  // Derived helpers -------------------------------------------------------
+
+  /// Minimum top-level wire width (pitch assumed = 2x width).
+  [[nodiscard]] double minGlobalWireWidth() const { return 0.5 * globalWirePitch; }
+  /// Top-level metal thickness.
+  [[nodiscard]] double globalWireThickness() const {
+    return globalAspectRatio * minGlobalWireWidth();
+  }
+  /// Uniform power density, W/m^2.
+  [[nodiscard]] double powerDensity() const { return maxPower / dieArea; }
+  /// Total supply current at nominal Vdd, A.
+  [[nodiscard]] double supplyCurrent() const { return maxPower / vdd; }
+  /// Effective bump pitch implied by the ITRS pad count on this die, m.
+  [[nodiscard]] double itrsEffectiveBumpPitch() const;
+  /// Junction-to-ambient thermal resistance required to hold tjMax, K/W.
+  [[nodiscard]] double requiredThetaJa() const {
+    return (tjMax - tAmbient) / maxPower;
+  }
+};
+
+/// All six nodes in scaling order 180 -> 35 nm.
+const std::vector<TechNode>& roadmap();
+
+/// Look up a node by feature size in nm; throws std::out_of_range for
+/// feature sizes not on the roadmap.
+const TechNode& nodeByFeature(int featureNm);
+
+/// Feature sizes on the roadmap, in scaling order.
+std::array<int, 6> roadmapFeatures();
+
+}  // namespace nano::tech

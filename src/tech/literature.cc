@@ -1,0 +1,50 @@
+#include "tech/literature.h"
+
+namespace nano::tech {
+
+const std::vector<PublishedDevice>& table1Devices() {
+  static const std::vector<PublishedDevice> kTable1 = [] {
+    std::vector<PublishedDevice> v;
+    auto add = [&v](std::string ref, std::string node, int nodeNm, double tox,
+                    ToxKind kind, double vdd, double ion, double ioff,
+                    bool itrs) {
+      v.push_back(PublishedDevice{std::move(ref), std::move(node), nodeNm, tox,
+                                  kind, vdd, ion, ioff, itrs});
+    };
+    // Published results (paper Table 1, top block).
+    add("[24] Chau et al., IEDM 2000", "50-70", 60, 18.0, ToxKind::Electrical,
+        0.85, 514.0, 100.0, false);
+    add("[25] Song et al., IEDM 2000", "100", 100, 21.0, ToxKind::Electrical,
+        1.2, 860.0, 10.0, false);
+    add("[26] Wakabayashi et al., IEDM 2000", "70", 70, 25.0,
+        ToxKind::Electrical, 1.2, 697.0, 10.0, false);
+    add("[27] Mehrotra et al., IEDM 1999", "100", 100, 27.0,
+        ToxKind::Electrical, 1.2, 800.0, 10.0, false);
+    add("[28] Yang et al., IEDM 1999", "70", 70, 32.0, ToxKind::Electrical,
+        1.2, 650.0, 3.0, false);
+    add("[29] Ono et al., VLSI 2000", "100", 100, 13.0, ToxKind::Physical, 1.0,
+        723.0, 16.0, false);
+    // ITRS projection rows (paper Table 1, bottom block).
+    add("ITRS", "100", 100, 13.5, ToxKind::Physical, 1.2, 750.0, 13.0, true);
+    add("ITRS", "70", 70, 10.0, ToxKind::Physical, 0.9, 750.0, 40.0, true);
+    add("ITRS", "50", 50, 7.0, ToxKind::Physical, 0.6, 750.0, 80.0, true);
+    return v;
+  }();
+  return kTable1;
+}
+
+const std::vector<DualVthDataPoint>& figure2DataPoints() {
+  static const std::vector<DualVthDataPoint> kPoints = {
+      // [21] Akrout et al., 0.12 um Leff (130 nm node class) RISC MPU:
+      // low-Vth devices gave ~12 % drive improvement.
+      {"[21] Akrout et al., JSSC 1998", 130, 12.0},
+      // [40] Tyagi et al., 130 nm logic with dual-Vt: ~14 % Ion step between
+      // the high- and low-Vt flavors (~100 mV apart).
+      {"[40] Tyagi et al., IEDM 2000", 130, 14.0},
+  };
+  return kPoints;
+}
+
+double historicalIonUnderestimate() { return 0.20; }
+
+}  // namespace nano::tech

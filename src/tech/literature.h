@@ -1,0 +1,46 @@
+// Published advanced-CMOS device results from the paper's Table 1, kept as
+// a small citable database so Figure 2's "published data points" and the
+// Table 1 bench can cross-reference model predictions against measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nano::tech {
+
+/// Whether the reported oxide thickness is the physical film thickness or
+/// the electrically effective (inversion) thickness.
+enum class ToxKind { Electrical, Physical };
+
+/// One published NMOS data point (or an ITRS projection row).
+struct PublishedDevice {
+  std::string reference;   ///< paper citation key, e.g. "[24] Chau IEDM'00"
+  std::string itrsNode;    ///< node label as printed, e.g. "50-70"
+  int nodeNm = 0;          ///< representative node in nm (for sorting/plots)
+  double toxAngstrom = 0;  ///< reported oxide thickness, Angstrom
+  ToxKind toxKind = ToxKind::Electrical;
+  double vdd = 0;          ///< reported supply, V
+  double ionUaPerUm = 0;   ///< reported NMOS on-current, uA/um
+  double ioffNaPerUm = 0;  ///< reported off-current, nA/um
+  bool isItrsProjection = false;
+};
+
+/// Table 1 rows, in the paper's order: six published results then three
+/// ITRS projection rows (100/70/50 nm).
+const std::vector<PublishedDevice>& table1Devices();
+
+/// Figure 2's published dual-Vth validation points: (node nm, Ion gain in %
+/// for a 100 mV Vth reduction) extracted from [21] (0.12 um Leff RISC MPU)
+/// and [40] (Intel 130 nm dual-Vt logic technology).
+struct DualVthDataPoint {
+  std::string reference;
+  int nodeNm = 0;
+  double ionGainPercent = 0.0;
+};
+const std::vector<DualVthDataPoint>& figure2DataPoints();
+
+/// Historical pre-production -> production Ion improvement factor observed
+/// in [30,31] (reports tend to underestimate production Ion by ~20 %).
+double historicalIonUnderestimate();
+
+}  // namespace nano::tech

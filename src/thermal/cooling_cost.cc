@@ -1,0 +1,32 @@
+#include "thermal/cooling_cost.h"
+
+#include <stdexcept>
+
+namespace nano::thermal {
+
+double thetaJaRelief(double fraction) {
+  if (fraction <= 0 || fraction > 1.0) {
+    throw std::invalid_argument("thetaJaRelief: fraction out of (0, 1]");
+  }
+  // theta_ja = (Tj - Ta) / P: cutting P by `fraction` raises the allowable
+  // theta_ja by 1/fraction.
+  return 1.0 / fraction;
+}
+
+double coolingCostUsd(double power, double tjMax, double tAmbient) {
+  return cheapestSolutionFor(power, tjMax, tAmbient).cost(power);
+}
+
+DtmCostSavings dtmCostSavings(double theoreticalPower, double tjMax,
+                              double tAmbient, double fraction) {
+  DtmCostSavings s;
+  s.theoreticalPower = theoreticalPower;
+  s.effectivePower = fraction * theoreticalPower;
+  s.thetaJaTheoretical = requiredThetaJa(theoreticalPower, tjMax, tAmbient);
+  s.thetaJaEffective = requiredThetaJa(s.effectivePower, tjMax, tAmbient);
+  s.costTheoreticalUsd = coolingCostUsd(theoreticalPower, tjMax, tAmbient);
+  s.costEffectiveUsd = coolingCostUsd(s.effectivePower, tjMax, tAmbient);
+  return s;
+}
+
+}  // namespace nano::thermal

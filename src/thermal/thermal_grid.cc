@@ -1,0 +1,99 @@
+#include "thermal/thermal_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+// Shared sparse SPD kernel (conjugate gradients); the thermal mesh is the
+// same Laplacian-plus-diagonal structure as the power grid.
+#include "powergrid/solver.h"
+
+namespace nano::thermal {
+
+ThermalMap solveThermalGrid(const ThermalGridConfig& cfg) {
+  if (cfg.cells < 2 || cfg.thetaJa <= 0 || cfg.totalPower < 0 ||
+      cfg.lateralConductance <= 0) {
+    throw std::invalid_argument("solveThermalGrid: bad config");
+  }
+  const int n = cfg.cells;
+  const auto idx = [n](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(x);
+  };
+  const std::size_t cells = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+
+  // Vertical conductance: the package removes heat uniformly per area.
+  const double gVertTotal = 1.0 / cfg.thetaJa;
+  const double gVert = gVertTotal / static_cast<double>(cells);
+  // Lateral conductance between adjacent cells: per square of die sheet.
+  const double gLat = cfg.lateralConductance;
+
+  powergrid::SparseSpd a(cells);
+  std::vector<double> rhs(cells, 0.0);
+
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      a.addDiagonal(idx(x, y), gVert);
+      if (x + 1 < n) {
+        a.addDiagonal(idx(x, y), gLat);
+        a.addDiagonal(idx(x + 1, y), gLat);
+        a.addOffDiagonal(idx(x, y), idx(x + 1, y), -gLat);
+      }
+      if (y + 1 < n) {
+        a.addDiagonal(idx(x, y), gLat);
+        a.addDiagonal(idx(x, y + 1), gLat);
+        a.addOffDiagonal(idx(x, y), idx(x, y + 1), -gLat);
+      }
+    }
+  }
+
+  // Power map: hot-spot block at hotspotFactor x the background density,
+  // background scaled so the total stays cfg.totalPower.
+  const int hsSpan = std::max(
+      0, static_cast<int>(std::round(cfg.hotspotFraction * n)));
+  const int hsLo = (n - hsSpan) / 2;
+  const double hsCells = static_cast<double>(hsSpan) * hsSpan;
+  const double factor = cfg.hotspotFactor;
+  // background * (cells - hsCells) + background * factor * hsCells = total
+  const double background =
+      cfg.totalPower /
+      (static_cast<double>(cells) - hsCells + factor * hsCells);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const bool inHs = hsSpan > 0 && x >= hsLo && x < hsLo + hsSpan &&
+                        y >= hsLo && y < hsLo + hsSpan;
+      rhs[idx(x, y)] = background * (inHs ? factor : 1.0);
+    }
+  }
+
+  a.finalize();
+  const powergrid::CgResult cg = powergrid::solveCg(a, rhs, 1e-10);
+
+  ThermalMap map;
+  map.nx = map.ny = n;
+  map.temperature.resize(cells);
+  double sum = 0.0;
+  double peak = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    map.temperature[i] = cfg.ambient + cg.x[i];
+    sum += cg.x[i];
+    peak = std::max(peak, cg.x[i]);
+  }
+  map.maxT = cfg.ambient + peak;
+  map.avgT = cfg.ambient + sum / static_cast<double>(cells);
+  const double avgRise = sum / static_cast<double>(cells);
+  map.hotspotContrast = avgRise > 0 ? peak / avgRise : 1.0;
+  return map;
+}
+
+ThermalGridConfig thermalGridForNode(const tech::TechNode& node) {
+  ThermalGridConfig cfg;
+  const double edge = std::sqrt(node.dieArea);
+  cfg.dieWidth = cfg.dieHeight = edge;
+  cfg.thetaJa = node.requiredThetaJa();
+  cfg.ambient = node.tAmbient;
+  cfg.totalPower = node.maxPower;
+  return cfg;
+}
+
+}  // namespace nano::thermal

@@ -1,0 +1,51 @@
+// 2-D die temperature solver: lateral heat spreading in the silicon plus
+// per-area vertical conduction through the package (theta_ja distributed
+// over the die). Connects the paper's Section 2.1 junction-temperature
+// model with Section 4's hot-spot assumption: a block at 4x the average
+// power density does NOT run 4x hotter — silicon spreading flattens the
+// map, and this solver quantifies by how much.
+#pragma once
+
+#include <vector>
+
+#include "tech/itrs.h"
+
+namespace nano::thermal {
+
+/// Configuration of the die thermal mesh.
+struct ThermalGridConfig {
+  double dieWidth = 20e-3;     ///< m
+  double dieHeight = 20e-3;    ///< m
+  double thetaJa = 0.25;       ///< K/W, package junction-to-ambient
+  double ambient = 318.15;     ///< K
+  double totalPower = 150.0;   ///< W
+  /// Hot-spot block: power density multiplier and size as a fraction of
+  /// the die edge (0 disables).
+  double hotspotFactor = 4.0;
+  double hotspotFraction = 0.15;
+  /// Effective lateral spreading conductance per square of die, W/K:
+  /// k_si * t_si ~ 120 W/mK * 400 um ~= 0.05 W/K for bare silicon. Raise
+  /// it to model an attached copper spreader.
+  double lateralConductance = 0.05;
+  int cells = 24;              ///< mesh resolution per edge
+};
+
+/// Solved temperature map.
+struct ThermalMap {
+  int nx = 0;
+  int ny = 0;
+  std::vector<double> temperature;  ///< K, per cell
+  double maxT = 0.0;                ///< K
+  double avgT = 0.0;                ///< K
+  /// (Tmax - Tambient) / (Tavg - Tambient): how much of the 4x hot-spot
+  /// density survives spreading.
+  double hotspotContrast = 0.0;
+};
+
+/// Solve the steady-state map.
+ThermalMap solveThermalGrid(const ThermalGridConfig& config);
+
+/// Configuration for a roadmap node (die size, power, required theta_ja).
+ThermalGridConfig thermalGridForNode(const tech::TechNode& node);
+
+}  // namespace nano::thermal

@@ -1,0 +1,46 @@
+// Synthetic workload power traces: stand-ins for the "power-hungry
+// applications" vs "synthetic input code sequences" (power virus) the
+// paper distinguishes when defining effective vs theoretical worst-case
+// power.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace nano::thermal {
+
+/// Piecewise-constant power trace, as fractions of the theoretical
+/// worst-case power.
+struct PowerTrace {
+  struct Phase {
+    double duration = 0.0;       ///< s
+    double powerFraction = 0.0;  ///< of theoretical worst case
+  };
+  std::vector<Phase> phases;
+
+  [[nodiscard]] double totalDuration() const;
+  /// Power fraction at time t (clamps to last phase).
+  [[nodiscard]] double at(double t) const;
+  /// Time-averaged power fraction.
+  [[nodiscard]] double average() const;
+  /// Maximum phase power fraction.
+  [[nodiscard]] double peak() const;
+};
+
+/// A demanding but realistic application: phases drawn in [0.35, 0.80] of
+/// theoretical worst case with occasional bursts to `burstFraction`
+/// (default ~0.75, the paper's effective worst case).
+PowerTrace typicalApplication(util::Rng& rng, double duration,
+                              double burstFraction = 0.75,
+                              double phaseMean = 2e-3);
+
+/// The power virus: sustained theoretical worst case.
+PowerTrace powerVirus(double duration);
+
+/// Idle-burst pattern with standby intervals at `idleFraction` power,
+/// used by the wake-up transient study (Section 4).
+PowerTrace idleBurst(double duration, double period, double dutyActive,
+                     double idleFraction = 0.05);
+
+}  // namespace nano::thermal

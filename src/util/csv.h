@@ -1,0 +1,49 @@
+// Minimal CSV writer so benches can dump figure series for external
+// plotting in addition to the ASCII tables they print.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nano::util {
+
+/// Streams rows of doubles/strings to a CSV file. The header row fixes the
+/// column count; mismatched rows throw.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header)
+      : out_(path), columns_(header.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    writeCells(header);
+  }
+
+  void row(const std::vector<double>& values) {
+    if (values.size() != columns_) throw std::invalid_argument("CsvWriter: row width");
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(std::to_string(v));
+    writeCells(cells);
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_) throw std::invalid_argument("CsvWriter: row width");
+    writeCells(cells);
+  }
+
+ private:
+  void writeCells(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace nano::util

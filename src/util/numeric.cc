@@ -1,0 +1,222 @@
+#include "util/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nano::util {
+
+namespace {
+bool sameSign(double a, double b) { return (a > 0) == (b > 0); }
+}  // namespace
+
+SolveResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                   double xtol, int maxIter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (sameSign(flo, fhi)) {
+    throw std::invalid_argument("bisect: interval does not bracket a root");
+  }
+  SolveResult r;
+  for (int i = 0; i < maxIter; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    r.iterations = i + 1;
+    if (fmid == 0.0 || (hi - lo) < xtol) {
+      r.x = mid;
+      r.fx = fmid;
+      r.converged = true;
+      return r;
+    }
+    if (sameSign(flo, fmid)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  r.x = 0.5 * (lo + hi);
+  r.fx = f(r.x);
+  r.converged = (hi - lo) < xtol;
+  return r;
+}
+
+SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
+                  double xtol, int maxIter) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (sameSign(fa, fb)) {
+    throw std::invalid_argument("brent: interval does not bracket a root");
+  }
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  double d = b - a;  // last step when bisection used
+  bool mflag = true;
+  SolveResult r;
+  for (int i = 0; i < maxIter; ++i) {
+    r.iterations = i + 1;
+    if (fb == 0.0 || std::abs(b - a) < xtol) {
+      r.x = b;
+      r.fx = fb;
+      r.converged = true;
+      return r;
+    }
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double mid = 0.5 * (a + b);
+    const bool between = (s > std::min(mid, b)) && (s < std::max(mid, b));
+    const bool smallStep = mflag ? std::abs(s - b) >= 0.5 * std::abs(b - c)
+                                 : std::abs(s - b) >= 0.5 * std::abs(c - d);
+    if (!between || smallStep) {
+      s = mid;
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if (sameSign(fa, fs)) {
+      a = s;
+      fa = fs;
+    } else {
+      b = s;
+      fb = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  r.x = b;
+  r.fx = fb;
+  r.converged = false;
+  return r;
+}
+
+SolveResult bracketAndSolve(const std::function<double(double)>& f, double lo,
+                            double hi, int maxExpand, double xtol) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  int expansions = 0;
+  while (sameSign(flo, fhi) && expansions < maxExpand) {
+    const double width = hi - lo;
+    // Expand the side whose value is smaller in magnitude (closer to the
+    // root, so grow away from it less aggressively).
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo -= width;
+      flo = f(lo);
+    } else {
+      hi += width;
+      fhi = f(hi);
+    }
+    ++expansions;
+  }
+  if (sameSign(flo, fhi)) {
+    throw std::invalid_argument("bracketAndSolve: failed to bracket a root");
+  }
+  return brent(f, lo, hi, xtol);
+}
+
+SolveResult minimizeGolden(const std::function<double(double)>& f, double lo,
+                           double hi, double xtol, int maxIter) {
+  constexpr double invPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - invPhi * (b - a);
+  double x2 = a + invPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  SolveResult r;
+  for (int i = 0; i < maxIter && (b - a) > xtol; ++i) {
+    r.iterations = i + 1;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - invPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + invPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  r.x = 0.5 * (a + b);
+  r.fx = f(r.x);
+  r.converged = (b - a) <= xtol;
+  return r;
+}
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs,
+                                       std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.size() != ys_.size() || xs_.size() < 2) {
+    throw std::invalid_argument("LinearInterpolator: need >= 2 matching points");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] <= xs_[i - 1]) {
+      throw std::invalid_argument("LinearInterpolator: xs must be increasing");
+    }
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  // Segment selection with clamped extrapolation from the end segments.
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  if (hi == 0) hi = 1;
+  if (hi >= xs_.size()) hi = xs_.size() - 1;
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 2) throw std::invalid_argument("linspace: n must be >= 2");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + step * i;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  if (lo <= 0 || hi <= 0) throw std::invalid_argument("logspace: bounds must be > 0");
+  auto exps = linspace(std::log10(lo), std::log10(hi), n);
+  for (double& e : exps) e = std::pow(10.0, e);
+  exps.back() = hi;
+  return exps;
+}
+
+double trapz(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("trapz: need >= 2 matching points");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    sum += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  }
+  return sum;
+}
+
+bool approxEqual(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace nano::util

@@ -1,0 +1,67 @@
+// Small numerics toolbox: root finding, 1-D minimization, interpolation,
+// and range generation. All routines are deterministic and allocation-free
+// except the range generators.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace nano::util {
+
+/// Result of an iterative solve.
+struct SolveResult {
+  double x = 0.0;        ///< located root / minimizer
+  double fx = 0.0;       ///< function value at x
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+/// Find a root of `f` in [lo, hi] by bisection. Requires f(lo) and f(hi) to
+/// bracket a sign change; throws std::invalid_argument otherwise.
+SolveResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                   double xtol = 1e-12, int maxIter = 200);
+
+/// Brent's method root finder (inverse quadratic interpolation + bisection
+/// fallback). Same bracketing requirement as bisect(), faster convergence.
+SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
+                  double xtol = 1e-12, int maxIter = 100);
+
+/// Expand [lo, hi] geometrically until f changes sign, then solve with brent.
+/// Useful when only a one-sided starting guess is available. Throws if no
+/// bracket is found within `maxExpand` doublings.
+SolveResult bracketAndSolve(const std::function<double(double)>& f, double lo,
+                            double hi, int maxExpand = 60, double xtol = 1e-12);
+
+/// Golden-section minimization of a unimodal `f` on [lo, hi].
+SolveResult minimizeGolden(const std::function<double(double)>& f, double lo,
+                           double hi, double xtol = 1e-10, int maxIter = 200);
+
+/// Piecewise-linear interpolation through (xs, ys); xs must be strictly
+/// increasing. Values outside the domain are linearly extrapolated from the
+/// nearest segment.
+class LinearInterpolator {
+ public:
+  LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+  double operator()(double x) const;
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// n evenly spaced samples covering [lo, hi] inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// n logarithmically spaced samples covering [lo, hi] inclusive
+/// (lo, hi > 0, n >= 2).
+std::vector<double> logspace(double lo, double hi, int n);
+
+/// Trapezoidal integral of sampled data (xs strictly increasing).
+double trapz(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+bool approxEqual(double a, double b, double rtol = 1e-9, double atol = 0.0);
+
+}  // namespace nano::util

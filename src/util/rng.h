@@ -1,0 +1,50 @@
+// Deterministic PRNG wrapper. All stochastic code in nanodesign (circuit
+// generation, Monte-Carlo sweeps, workload traces) takes an explicit Rng so
+// results are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nano::util {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return dist01_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniformInt(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Exponential draw with given mean.
+  double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double pTrue) { return uniform() < pTrue; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> dist01_{0.0, 1.0};
+};
+
+}  // namespace nano::util

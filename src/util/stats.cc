@@ -1,0 +1,91 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nano::util {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (bins < 1 || hi <= lo) throw std::invalid_argument("Histogram: bad range");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::addAll(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(int bin) const {
+  return counts_.at(static_cast<std::size_t>(bin));
+}
+
+double Histogram::fraction(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::binLo(int bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::binHi(int bin) const { return binLo(bin + 1); }
+
+double Histogram::cumulativeBelow(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  double below = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double bl = binLo(static_cast<int>(b));
+    const double bh = binHi(static_cast<int>(b));
+    if (x >= bh) {
+      below += static_cast<double>(counts_[b]);
+    } else if (x > bl) {
+      below += static_cast<double>(counts_[b]) * (x - bl) / (bh - bl);
+    }
+  }
+  return below / static_cast<double>(total_);
+}
+
+}  // namespace nano::util

@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nano::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::addRule() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto printRule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto printCells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+  printRule();
+  printCells(header_);
+  printRule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      printRule();
+    } else {
+      printCells(row);
+    }
+  }
+  printRule();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmtSci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision - 1, value);
+  return buf;
+}
+
+std::string fmtEng(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* symbol;
+  };
+  static constexpr std::array<Prefix, 10> kPrefixes{{{1e-15, "f"},
+                                                     {1e-12, "p"},
+                                                     {1e-9, "n"},
+                                                     {1e-6, "u"},
+                                                     {1e-3, "m"},
+                                                     {1.0, ""},
+                                                     {1e3, "k"},
+                                                     {1e6, "M"},
+                                                     {1e9, "G"},
+                                                     {1e12, "T"}}};
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::abs(value);
+  const Prefix* best = &kPrefixes.front();
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) best = &p;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g %s%s", precision, value / best->scale,
+                best->symbol, unit.c_str());
+  return buf;
+}
+
+}  // namespace nano::util

@@ -1,0 +1,40 @@
+// Plain-text table formatter used by the benchmark harnesses to print
+// paper-style tables (paper value next to our reproduced value).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nano::util {
+
+/// Column-oriented ASCII table. Cells are strings; helpers format numbers
+/// with a chosen precision. Example:
+///   TextTable t({"node", "Vth (V)", "Ioff (nA/um)"});
+///   t.addRow({"180", fmt(0.30, 2), fmt(3.0, 1)});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next added row.
+  void addRule();
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == rule
+};
+
+/// Fixed-precision formatting (like printf "%.*f").
+std::string fmt(double value, int precision = 3);
+
+/// Scientific formatting with `precision` significant digits.
+std::string fmtSci(double value, int precision = 3);
+
+/// Engineering-style: picks an SI prefix among f,p,n,u,m,(none),k,M,G,T.
+std::string fmtEng(double value, const std::string& unit, int precision = 3);
+
+}  // namespace nano::util

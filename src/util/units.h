@@ -1,0 +1,93 @@
+// SI unit helpers and physical constants.
+//
+// Convention used throughout nanodesign: every quantity is stored in plain
+// SI units (volts, amperes, metres, seconds, watts, farads, ohms, kelvin).
+// Per-width currents are in A/m, which conveniently equals uA/um, the unit
+// the paper reports (1 uA/um == 1e-6 A / 1e-6 m == 1 A/m).
+//
+// The constants below make literals self-describing at the point of use:
+//   double tox = 15.0 * units::angstrom;
+//   double ion = 750.0 * units::uA_per_um;
+#pragma once
+
+namespace nano::units {
+
+// Lengths.
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+inline constexpr double angstrom = 1e-10;
+
+// Areas.
+inline constexpr double m2 = 1.0;
+inline constexpr double cm2 = 1e-4;
+inline constexpr double mm2 = 1e-6;
+inline constexpr double um2 = 1e-12;
+
+// Electrical.
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double pA = 1e-12;
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double H = 1.0;
+inline constexpr double nH = 1e-9;
+inline constexpr double pH = 1e-12;
+
+// Per-width / per-length quantities.
+inline constexpr double uA_per_um = 1.0;    // == A/m
+inline constexpr double nA_per_um = 1e-3;   // == mA/m
+inline constexpr double ohm_um = 1e-6;      // ohm * um (width-normalized R)
+inline constexpr double fF_per_um = 1e-9;   // F/m
+inline constexpr double ohm_per_um = 1e6;   // ohm/m
+inline constexpr double uF_per_cm2 = 1e-2;  // F/m^2
+inline constexpr double W_per_cm2 = 1e4;    // W/m^2
+
+// Time / frequency.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double Hz = 1.0;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Power.
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double kW = 1e3;
+
+// Physical constants.
+inline constexpr double kBoltzmann = 1.380649e-23;    // J/K
+inline constexpr double qElectron = 1.602176634e-19;  // C
+inline constexpr double eps0 = 8.8541878128e-12;      // F/m
+inline constexpr double epsSiO2 = 3.9 * eps0;         // F/m
+inline constexpr double epsSi = 11.7 * eps0;          // F/m
+
+// Temperatures.
+inline constexpr double kelvin = 1.0;
+inline constexpr double zeroCelsiusInKelvin = 273.15;
+
+/// Convert a Celsius temperature to kelvin.
+constexpr double fromCelsius(double celsius) { return celsius + zeroCelsiusInKelvin; }
+
+/// Convert a kelvin temperature to Celsius.
+constexpr double toCelsius(double tKelvin) { return tKelvin - zeroCelsiusInKelvin; }
+
+/// Thermal voltage kT/q at temperature `tKelvin` (about 25.85 mV at 300 K).
+constexpr double thermalVoltage(double tKelvin) {
+  return kBoltzmann * tKelvin / qElectron;
+}
+
+}  // namespace nano::units

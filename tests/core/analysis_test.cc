@@ -1,0 +1,75 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+
+namespace nano::core {
+namespace {
+
+TEST(NodeSummary, Summarizes35nm) {
+  const NodeSummary s = summarizeNode(35);
+  ASSERT_NE(s.node, nullptr);
+  EXPECT_EQ(s.node->featureNm, 35);
+  EXPECT_NEAR(s.ionUaUm, 750.0, 1.0);
+  EXPECT_GT(s.ioffHotNaUm, s.ioffNaUm);
+  EXPECT_NEAR(s.supplyCurrentA, 300.0, 1.0);
+  EXPECT_NEAR(s.standbyCurrentBudgetA, 30.0, 0.5);
+  EXPECT_GT(s.fo4PerCycle, 5.0);   // a real pipeline has >> 1 FO4/cycle
+  EXPECT_LT(s.fo4PerCycle, 60.0);
+  ASSERT_NE(s.packaging, nullptr);
+  EXPECT_LE(s.packaging->thetaJa, s.thetaJaRequired);
+}
+
+TEST(NodeSummary, PackagingEscalatesDownRoadmap) {
+  const NodeSummary early = summarizeNode(180);
+  const NodeSummary late = summarizeNode(35);
+  EXPECT_LT(late.thetaJaRequired, early.thetaJaRequired);
+  EXPECT_GE(late.coolingCostUsd, early.coolingCostUsd);
+}
+
+TEST(NodeSummary, ThrowsOffRoadmap) {
+  EXPECT_THROW(summarizeNode(90), std::out_of_range);
+}
+
+TEST(Report, NodeSummaryPrints) {
+  const NodeSummary s = summarizeNode(70);
+  std::ostringstream os;
+  printNodeSummary(os, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("70 nm node"), std::string::npos);
+  EXPECT_NE(out.find("FO4 delay"), std::string::npos);
+  EXPECT_NE(out.find("theta_ja"), std::string::npos);
+}
+
+TEST(Report, AllExperimentPrintersProduceOutput) {
+  std::ostringstream os;
+  printTable2(os, computeTable2());
+  printFigure1(os, computeFigure1(5));
+  printFigure2(os, computeFigure2());
+  const auto f34 = computeFigure34(35, 5);
+  printFigure3(os, f34);
+  printFigure4(os, f34);
+  printFigure5(os, computeFigure5());
+  printSection33Claims(os, computeSection33Claims());
+  EXPECT_GT(os.str().size(), 2000u);
+  EXPECT_NE(os.str().find("Table 2"), std::string::npos);
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+}
+
+
+TEST(Report, RoadmapComparisonCoversAllNodes) {
+  std::ostringstream os;
+  printRoadmapComparison(os);
+  const std::string out = os.str();
+  for (int f : tech::roadmapFeatures()) {
+    EXPECT_NE(out.find("| " + std::to_string(f)), std::string::npos) << f;
+  }
+  EXPECT_NE(out.find("repeaters"), std::string::npos);
+  EXPECT_NE(out.find("wake noise"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nano::core

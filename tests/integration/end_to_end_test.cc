@@ -1,0 +1,109 @@
+// Integration tests across modules: full low-power flows on structured
+// circuits, thermal budgets driven by real power rollups, and consistency
+// between the system-level estimates and the underlying models.
+#include <gtest/gtest.h>
+
+#include "circuit/generator.h"
+#include "core/analysis.h"
+#include "opt/combined.h"
+#include "power/power_model.h"
+#include "sta/sta.h"
+#include "thermal/cooling_cost.h"
+#include "thermal/dtm.h"
+#include "util/units.h"
+
+namespace nano {
+namespace {
+
+using namespace nano::units;
+
+TEST(EndToEnd, AdderFlowKeepsFunctionalStructure) {
+  // Run the full multi-Vdd + dual-Vth + sizing flow on a ripple-carry
+  // adder and verify structure, timing and a real power win.
+  circuit::Library lib(tech::nodeByFeature(70));
+  const circuit::Netlist adder = circuit::rippleCarryAdder(lib, 12);
+  // Relax the clock 40 % over the carry-chain-limited critical path so the
+  // optimizers have slack to spend (registers would pipeline a real one).
+  opt::FlowOptions options;
+  options.clockPeriod = 1.4 * sta::analyze(adder).criticalPathDelay;
+  const opt::FlowResult flow = opt::runFlow(adder, lib, options);
+  EXPECT_TRUE(flow.stages.back().timing.meetsTiming());
+  EXPECT_GT(flow.totalSavings(), 0.2);
+  EXPECT_TRUE(flow.netlist.vddViolations().empty());
+  // Sums and carry still present.
+  EXPECT_GE(flow.netlist.outputs().size(), 13u);
+}
+
+TEST(EndToEnd, NetlistPowerDensityFeedsThermalModel) {
+  // Build a block, compute its power, scale to a die of such blocks, and
+  // check the packaging story end to end.
+  const auto& node = tech::nodeByFeature(70);
+  circuit::Library lib(node);
+  util::Rng rng(7);
+  circuit::GeneratorConfig cfg;
+  cfg.gates = 1000;
+  const circuit::Netlist block = circuit::pipelinedLogic(lib, cfg, rng, 4);
+  const auto power = power::computePower(block, node.clockLocal, 0.15);
+
+  // Blocks needed to fill the die's logic transistor budget.
+  const double blocksPerDie =
+      static_cast<double>(node.logicTransistors) / (4.0 * cfg.gates);
+  const double chipPower = power.total() * blocksPerDie;
+  // Same order as the roadmap's power projection (model is per-gate
+  // average, so allow a wide band).
+  EXPECT_GT(chipPower, 0.1 * node.maxPower);
+  EXPECT_LT(chipPower, 10.0 * node.maxPower);
+
+  // That chip power needs serious packaging at Tj 85 C.
+  const double theta =
+      thermal::requiredThetaJa(std::min(chipPower, 250.0), node.tjMax,
+                               node.tAmbient);
+  EXPECT_LT(theta, 1.0);
+}
+
+TEST(EndToEnd, DtmEnablesCheaperPackageForNetlistWorkload) {
+  // Package for the effective worst case of a synthetic workload, then
+  // verify with the closed-loop DTM simulation that the junction limit
+  // holds even under a virus.
+  const double worstCase = 100.0;
+  const auto savings =
+      thermal::dtmCostSavings(worstCase, units::fromCelsius(85.0),
+                              units::fromCelsius(45.0));
+  const thermal::ThermalPackage pkg(savings.thetaJaEffective, 0.02);
+  thermal::DtmPolicy policy;
+  policy.tripTemperature = units::fromCelsius(83.0);
+  const auto result = thermal::simulateDtm(
+      pkg, thermal::powerVirus(0.3), worstCase, units::fromCelsius(45.0),
+      policy);
+  EXPECT_LT(result.maxTemperature, units::fromCelsius(86.0));
+  EXPECT_LT(savings.costEffectiveUsd, savings.costTheoreticalUsd);
+}
+
+TEST(EndToEnd, NodeSummariesCoverEveryRoadmapNode) {
+  for (int f : tech::roadmapFeatures()) {
+    const core::NodeSummary s = core::summarizeNode(f);
+    EXPECT_NEAR(s.ionUaUm, 750.0, 1.0) << f;
+    EXPECT_GT(s.fo4DelayPs, 0.0) << f;
+    EXPECT_GT(s.wiring.repeaterCount, 0.0) << f;
+    EXPECT_GT(s.gridItrs.widthOverMin, s.gridMinPitch.widthOverMin) << f;
+  }
+}
+
+TEST(EndToEnd, LeakageBudgetStoryAt35nm) {
+  // ITRS caps static power at 10 % of total: with the Table-2 Vth the
+  // 35 nm budget implies huge standby current, motivating dual-Vth. Check
+  // the chain: Ioff/um * total device width vs the 30 A budget.
+  const core::NodeSummary s = core::summarizeNode(35);
+  // Total NMOS width on die: transistors/2 * ~3 squares average width.
+  const double totalWidth = static_cast<double>(s.node->logicTransistors) /
+                            2.0 * 3.0 * 35e-9;
+  const double standbyCurrent = s.ioffNaUm * nA_per_um * totalWidth;
+  // Unchecked single-Vth leakage blows the 30 A budget.
+  EXPECT_GT(standbyCurrent, s.standbyCurrentBudgetA);
+  // A 15x dual-Vth reduction on 80 % of width brings it within ~an order.
+  const double afterDualVth = standbyCurrent * (0.2 + 0.8 / 15.0);
+  EXPECT_LT(afterDualVth, 10.0 * s.standbyCurrentBudgetA);
+}
+
+}  // namespace
+}  // namespace nano

@@ -1,0 +1,99 @@
+// Integration: the optimizer stack on structured arithmetic circuits
+// (adders, multiplier) — realistic topologies with known critical
+// structure, exercised end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/generator.h"
+#include "circuit/netlist_io.h"
+#include "opt/combined.h"
+#include "opt/simultaneous.h"
+#include "power/state_leakage.h"
+#include "sta/ssta.h"
+
+namespace nano {
+namespace {
+
+using circuit::Library;
+using circuit::Netlist;
+
+const tech::TechNode& node70() { return tech::nodeByFeature(70); }
+
+const Library& lib() {
+  static const Library instance(node70());
+  return instance;
+}
+
+TEST(StructuredCircuits, KoggeStoneAbsorbsFullFlowAtRippleClock) {
+  const Netlist ripple = circuit::rippleCarryAdder(lib(), 16);
+  const Netlist kogge = circuit::koggeStoneAdder(lib(), 16);
+  opt::FlowOptions options;
+  options.clockPeriod = sta::analyze(ripple).criticalPathDelay;
+  const opt::FlowResult flow = opt::runFlow(kogge, lib(), options);
+  EXPECT_TRUE(flow.stages.back().timing.meetsTiming());
+  // Massive architectural slack: nearly everything moves to Vdd,l/HVT.
+  EXPECT_GT(flow.stages.back().fractionLowVdd, 0.9);
+  EXPECT_GT(flow.stages.back().fractionHighVth, 0.9);
+  EXPECT_GT(flow.totalSavings(), 0.5);
+}
+
+TEST(StructuredCircuits, MultiplierSurvivesDualVth) {
+  const Netlist mult = circuit::arrayMultiplier(lib(), 6);
+  const opt::DualVthResult r = opt::runDualVth(mult, lib());
+  EXPECT_TRUE(r.timingAfter.meetsTiming());
+  EXPECT_GT(r.leakageSavings(), 0.2);
+  // The multiplier's diagonal carries the critical path; off-diagonal
+  // partial products have slack.
+  EXPECT_GT(r.fractionHighVth, 0.2);
+  EXPECT_LT(r.fractionHighVth, 1.0);
+}
+
+TEST(StructuredCircuits, AdderRoundTripsThroughVerilogAndText) {
+  const Netlist adder = circuit::koggeStoneAdder(lib(), 8);
+  std::ostringstream text;
+  circuit::writeNetlist(text, adder);
+  std::istringstream in(text.str());
+  const Netlist copy = circuit::readNetlist(in, lib());
+  EXPECT_EQ(copy.gateCount(), adder.gateCount());
+  const auto t1 = sta::analyze(adder);
+  const auto t2 = sta::analyze(copy);
+  EXPECT_NEAR(t2.criticalPathDelay, t1.criticalPathDelay,
+              1e-12 * t1.criticalPathDelay);
+}
+
+TEST(StructuredCircuits, SimultaneousOptimizerOnAdder) {
+  const Netlist adder = circuit::rippleCarryAdder(lib(), 8);
+  opt::SimultaneousOptions options;
+  options.clockPeriod = 1.3 * sta::analyze(adder).criticalPathDelay;
+  const opt::SimultaneousResult r =
+      opt::runSimultaneous(adder, lib(), options);
+  EXPECT_TRUE(r.timingAfter.meetsTiming());
+  EXPECT_GT(r.powerSavings(), 0.1);
+}
+
+TEST(StructuredCircuits, StateLeakageOnAdder) {
+  // NAND-only decomposition: strong state dependence, so input-vector
+  // bounds must show real headroom.
+  const Netlist adder = circuit::rippleCarryAdder(lib(), 8);
+  const auto bounds = power::leakageStateBounds(adder, node70());
+  EXPECT_GT(bounds.maximum / bounds.minimum, 2.0);
+  const auto act = power::propagateActivity(adder);
+  const double aware = power::stateAwareLeakage(adder, node70(), act);
+  EXPECT_GT(aware, bounds.minimum);
+  EXPECT_LT(aware, bounds.maximum);
+}
+
+TEST(StructuredCircuits, SstaOnCarryChain) {
+  // The ripple carry chain is one long path: sigma should behave like a
+  // chain (grow with bit count).
+  const Netlist small = circuit::rippleCarryAdder(lib(), 4);
+  const Netlist big = circuit::rippleCarryAdder(lib(), 16);
+  const auto s1 = sta::analyzeStatistical(small, node70());
+  const auto s2 = sta::analyzeStatistical(big, node70());
+  EXPECT_GT(s2.criticalSigma, 1.5 * s1.criticalSigma);
+  EXPECT_GT(s2.criticalMean, 3.0 * s1.criticalMean);
+}
+
+}  // namespace
+}  // namespace nano

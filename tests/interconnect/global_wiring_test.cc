@@ -1,0 +1,89 @@
+#include "interconnect/global_wiring.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::interconnect {
+namespace {
+
+TEST(GlobalWiring, RepeaterCountMatchesPaperAnchors) {
+  // Paper Section 2.2 / [11]: ~10^4 repeaters in a large 180 nm design,
+  // nearly 10^6 at 50 nm.
+  const auto at180 = analyzeGlobalWiring(tech::nodeByFeature(180));
+  const auto at50 = analyzeGlobalWiring(tech::nodeByFeature(50));
+  EXPECT_GT(at180.repeaterCount, 3e3);
+  EXPECT_LT(at180.repeaterCount, 5e4);
+  EXPECT_GT(at50.repeaterCount, 2e5);
+  EXPECT_LT(at50.repeaterCount, 2e6);
+}
+
+TEST(GlobalWiring, PowerExceeds50WInNanometerRegime) {
+  // Paper: "this requires over 50 W of power in the nanometer regime".
+  const auto at35 = analyzeGlobalWiring(tech::nodeByFeature(35));
+  EXPECT_GT(at35.power.total(), 40.0);
+  EXPECT_LT(at35.power.total(), 120.0);
+}
+
+TEST(GlobalWiring, PowerGrowsDownTheRoadmap) {
+  double prev = 0.0;
+  for (int f : tech::roadmapFeatures()) {
+    const auto rep = analyzeGlobalWiring(tech::nodeByFeature(f));
+    EXPECT_GT(rep.power.total(), prev);
+    prev = rep.power.total();
+  }
+}
+
+TEST(GlobalWiring, UnscaledWiresMeetGlobalClock) {
+  // Paper / [9]: with unscaled top-level wiring the ITRS global clock can
+  // be met: a die crossing takes ~1 global cycle even at the end of the
+  // roadmap (vs several cycles on scaled wires).
+  GlobalWiringOptions unscaled;
+  unscaled.unscaledWires = true;
+  for (int f : tech::roadmapFeatures()) {
+    const auto& node = tech::nodeByFeature(f);
+    const auto repU = analyzeGlobalWiring(node, unscaled);
+    EXPECT_LT(repU.cyclesToCrossDie, 1.6) << f;
+    const auto repS = analyzeGlobalWiring(node);
+    EXPECT_GE(repS.cyclesToCrossDie, repU.cyclesToCrossDie * 0.99) << f;
+  }
+}
+
+TEST(GlobalWiring, ScaledWiresNeedMultipleCyclesAtEndOfRoadmap) {
+  const auto rep = analyzeGlobalWiring(tech::nodeByFeature(35));
+  EXPECT_GT(rep.cyclesToCrossDie, 2.0);
+}
+
+TEST(GlobalWiring, NetCountGrowsWithIntegration) {
+  double prev = 0.0;
+  for (int f : tech::roadmapFeatures()) {
+    const auto rep = analyzeGlobalWiring(tech::nodeByFeature(f));
+    EXPECT_GT(rep.globalNetCount, prev);
+    prev = rep.globalNetCount;
+  }
+}
+
+TEST(GlobalWiring, RepeaterAreaFractionSmallButGrowing) {
+  const auto at180 = analyzeGlobalWiring(tech::nodeByFeature(180));
+  const auto at35 = analyzeGlobalWiring(tech::nodeByFeature(35));
+  EXPECT_LT(at180.repeaterAreaFraction, 0.05);
+  EXPECT_GT(at35.repeaterAreaFraction, at180.repeaterAreaFraction);
+}
+
+TEST(GlobalWiring, ActivityScalesSwitchingPowerOnly) {
+  GlobalWiringOptions lo, hi;
+  lo.activity = 0.1;
+  hi.activity = 0.2;
+  const auto& node = tech::nodeByFeature(70);
+  const auto repLo = analyzeGlobalWiring(node, lo);
+  const auto repHi = analyzeGlobalWiring(node, hi);
+  EXPECT_NEAR(repHi.power.wire, 2.0 * repLo.power.wire, 1e-9);
+  EXPECT_NEAR(repHi.power.leakage, repLo.power.leakage, 1e-12);
+}
+
+TEST(GlobalWiring, TotalWireLengthConsistent) {
+  const auto rep = analyzeGlobalWiring(tech::nodeByFeature(100));
+  EXPECT_NEAR(rep.totalWireLength, rep.globalNetCount * rep.avgNetLength,
+              1e-9 * rep.totalWireLength);
+}
+
+}  // namespace
+}  // namespace nano::interconnect

@@ -1,0 +1,168 @@
+#include "interconnect/repeater.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace nano::interconnect {
+namespace {
+
+using namespace nano::units;
+
+struct Fixture {
+  const tech::TechNode& node = tech::nodeByFeature(100);
+  RepeaterDriver driver = RepeaterDriver::fromNode(node);
+  WireRc rc = computeWireRc(topLevelWire(node));
+};
+
+TEST(RepeaterDriver, SaneUnitValues) {
+  Fixture f;
+  EXPECT_GT(f.driver.unitResistance, 1 * kohm);
+  EXPECT_LT(f.driver.unitResistance, 50 * kohm);
+  EXPECT_GT(f.driver.unitInputCap, 0.05 * fF);
+  EXPECT_LT(f.driver.unitInputCap, 5 * fF);
+  EXPECT_LT(f.driver.unitOutputCap, f.driver.unitInputCap);
+  EXPECT_GT(f.driver.unitArea, 0.0);
+}
+
+TEST(ClosedForm, OptimalSizeAndLengthInKnownRange) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersClosedForm(f.driver, f.rc);
+  // Optimal repeaters are O(100x) minimum size spaced O(mm) apart.
+  EXPECT_GT(d.size, 20.0);
+  EXPECT_LT(d.size, 1000.0);
+  EXPECT_GT(d.segmentLength, 0.1 * mm);
+  EXPECT_LT(d.segmentLength, 10.0 * mm);
+}
+
+TEST(ClosedForm, MatchesBakogluFormulas) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersClosedForm(f.driver, f.rc);
+  const double r = f.rc.resistancePerM, c = f.rc.totalCapPerM();
+  EXPECT_NEAR(d.size,
+              std::sqrt(f.driver.unitResistance * c /
+                        (r * f.driver.unitInputCap)),
+              1e-9);
+  EXPECT_NEAR(d.segmentLength,
+              std::sqrt(2.0 * f.driver.unitResistance *
+                        (f.driver.unitInputCap + f.driver.unitOutputCap) /
+                        (r * c)),
+              1e-12);
+}
+
+TEST(NumericOptimum, AgreesWithClosedFormWithinFivePercent) {
+  Fixture f;
+  const RepeaterDesign cf = optimalRepeatersClosedForm(f.driver, f.rc);
+  const RepeaterDesign num = optimalRepeatersNumeric(f.driver, f.rc);
+  EXPECT_NEAR(num.delayPerMeter, cf.delayPerMeter, 0.05 * cf.delayPerMeter);
+  // The numeric optimum can only be at least as good.
+  EXPECT_LE(num.delayPerMeter, cf.delayPerMeter * 1.0001);
+}
+
+TEST(NumericOptimum, IsALocalMinimum) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  auto perM = [&](double size, double len) {
+    return repeaterSegmentDelay(f.driver, f.rc, size, len) / len;
+  };
+  const double best = perM(d.size, d.segmentLength);
+  EXPECT_LE(best, perM(d.size * 1.2, d.segmentLength));
+  EXPECT_LE(best, perM(d.size / 1.2, d.segmentLength));
+  EXPECT_LE(best, perM(d.size, d.segmentLength * 1.2));
+  EXPECT_LE(best, perM(d.size, d.segmentLength / 1.2));
+}
+
+TEST(SegmentDelay, MonotoneInLengthBeyondOptimum) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  EXPECT_GT(repeaterSegmentDelay(f.driver, f.rc, d.size, 4 * d.segmentLength),
+            repeaterSegmentDelay(f.driver, f.rc, d.size, d.segmentLength));
+}
+
+TEST(SegmentDelay, Rejections) {
+  Fixture f;
+  EXPECT_THROW(repeaterSegmentDelay(f.driver, f.rc, 0.0, 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(repeaterSegmentDelay(f.driver, f.rc, 10.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(RepeatedLine, DelayLinearInLength) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  const double d10 = repeatedLineDelay(f.driver, f.rc, d, 10 * mm);
+  const double d20 = repeatedLineDelay(f.driver, f.rc, d, 20 * mm);
+  EXPECT_NEAR(d20 / d10, 2.0, 0.1);
+}
+
+TEST(RepeatedLine, BeatsUnrepeatedForLongWires) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  const double length = 10 * mm;
+  const double repeated = repeatedLineDelay(f.driver, f.rc, d, length);
+  // Unrepeated: one min-size driver into the whole line.
+  const double unrepeated =
+      repeaterSegmentDelay(f.driver, f.rc, 1.0, length);
+  EXPECT_LT(repeated, unrepeated / 5.0);
+}
+
+TEST(RepeaterCount, RoundsToSegments) {
+  Fixture f;
+  RepeaterDesign d;
+  d.segmentLength = 1 * mm;
+  EXPECT_DOUBLE_EQ(repeaterCountForLength(d, 10 * mm), 10.0);
+  EXPECT_DOUBLE_EQ(repeaterCountForLength(d, 0.2 * mm), 1.0);
+}
+
+TEST(LinePower, ComponentsPositiveAndWireDominatesAtOptimum) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  const LinePower p =
+      repeatedLinePower(f.driver, f.rc, d, 10 * mm, 1 * GHz, 0.15);
+  EXPECT_GT(p.wire, 0.0);
+  EXPECT_GT(p.repeaterDyn, 0.0);
+  EXPECT_GE(p.leakage, 0.0);
+  EXPECT_NEAR(p.total(), p.wire + p.repeaterDyn + p.leakage, 1e-15);
+  // At the delay-optimal point repeater cap is comparable to wire cap.
+  EXPECT_GT(p.repeaterDyn / p.wire, 0.3);
+  EXPECT_LT(p.repeaterDyn / p.wire, 3.0);
+}
+
+TEST(LinePower, LinearInActivityAndFrequency) {
+  Fixture f;
+  const RepeaterDesign d = optimalRepeatersNumeric(f.driver, f.rc);
+  const LinePower a =
+      repeatedLinePower(f.driver, f.rc, d, 10 * mm, 1 * GHz, 0.1);
+  const LinePower b =
+      repeatedLinePower(f.driver, f.rc, d, 10 * mm, 2 * GHz, 0.1);
+  EXPECT_NEAR(b.wire, 2.0 * a.wire, 1e-12);
+  EXPECT_NEAR(b.repeaterDyn, 2.0 * a.repeaterDyn, 1e-12);
+  EXPECT_NEAR(b.leakage, a.leakage, 1e-12);  // leakage freq-independent
+}
+
+// Scaling sweep: optimal segment length shrinks with the node (wires get
+// more resistive faster than gates improve).
+class RepeaterScaling : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RepeaterScaling, SegmentLengthShrinks) {
+  const auto [bigNode, smallNode] = GetParam();
+  const auto& big = tech::nodeByFeature(bigNode);
+  const auto& small = tech::nodeByFeature(smallNode);
+  const RepeaterDesign dBig = optimalRepeatersNumeric(
+      RepeaterDriver::fromNode(big), computeWireRc(topLevelWire(big)));
+  const RepeaterDesign dSmall = optimalRepeatersNumeric(
+      RepeaterDriver::fromNode(small), computeWireRc(topLevelWire(small)));
+  EXPECT_LT(dSmall.segmentLength, dBig.segmentLength);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, RepeaterScaling,
+                         ::testing::Values(std::pair{180, 130},
+                                           std::pair{130, 100},
+                                           std::pair{100, 70},
+                                           std::pair{70, 50},
+                                           std::pair{50, 35}));
+
+}  // namespace
+}  // namespace nano::interconnect

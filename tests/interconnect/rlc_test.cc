@@ -1,0 +1,108 @@
+#include "interconnect/rlc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace nano::interconnect {
+namespace {
+
+using namespace nano::units;
+
+WireGeometry globalWire() {
+  return topLevelWire(tech::nodeByFeature(50));
+}
+
+TEST(WireL, InductanceInTextbookRange) {
+  // On-chip wires run a few hundred pH/mm of loop inductance.
+  const WireL l = computeWireL(globalWire(), 100 * um);
+  EXPECT_GT(l.loopInductancePerM, 0.1e-6);  // > 0.1 uH/m = 100 pH/mm
+  EXPECT_LT(l.loopInductancePerM, 3e-6);
+  EXPECT_GT(l.selfInductancePerM, 0.0);
+}
+
+TEST(WireL, FartherReturnMoreLoopInductance) {
+  const WireL near = computeWireL(globalWire(), 20 * um);
+  const WireL far = computeWireL(globalWire(), 200 * um);
+  EXPECT_GT(far.loopInductancePerM, near.loopInductancePerM);
+}
+
+TEST(WireL, MutualBelowSelf) {
+  const WireL l = computeWireL(globalWire(), 100 * um);
+  EXPECT_LT(l.mutualToNeighborPerM, l.selfInductancePerM);
+  EXPECT_GE(l.mutualToNeighborPerM, 0.0);
+}
+
+TEST(WireL, RejectsBadReturn) {
+  EXPECT_THROW(computeWireL(globalWire(), 0.0), std::invalid_argument);
+}
+
+TEST(RlcLine, TimeOfFlightBelowSpeedOfLightLimit) {
+  const WireGeometry g = globalWire();
+  const WireRc rc = computeWireRc(g);
+  const WireL l = computeWireL(g, 100 * um);
+  const double length = 1 * mm;
+  const RlcReport rep = analyzeRlcLine(rc, l, length, 100.0, 10 * fF);
+  // Signal velocity <= c/sqrt(er): flight time >= length * sqrt(er)/c.
+  const double cLight = 3e8;
+  EXPECT_GT(rep.timeOfFlight, length * std::sqrt(2.1) / cLight * 0.5);
+  EXPECT_LT(rep.timeOfFlight, 60e-12);  // ~6.6 ps/mm at most here
+}
+
+TEST(RlcLine, LongResistiveLinesAreRcDominated) {
+  const WireGeometry g = globalWire();
+  const WireRc rc = computeWireRc(g);
+  const WireL l = computeWireL(g, 100 * um);
+  const RlcReport rep = analyzeRlcLine(rc, l, 10 * mm, 500.0, 10 * fF);
+  EXPECT_GT(rep.attenuation, 1.0);
+  EXPECT_FALSE(rep.inductanceMatters);
+  EXPECT_DOUBLE_EQ(rep.delayEstimate, rep.rcDelay);
+}
+
+TEST(RlcLine, ShortFatLinesWithStrongDriversAreInductive) {
+  // A wide unscaled wire driven hard over a short span: LC regime.
+  WireGeometry g = unscaledGlobalWire(tech::nodeByFeature(50));
+  g.width *= 4.0;
+  const WireRc rc = computeWireRc(g);
+  const WireL l = computeWireL(g, 100 * um);
+  const RlcReport rep = analyzeRlcLine(rc, l, 0.5 * mm, 20.0, 5 * fF);
+  EXPECT_LT(rep.attenuation, 1.0);
+  EXPECT_TRUE(rep.inductanceMatters);
+}
+
+TEST(RlcLine, CharacteristicImpedanceReasonable) {
+  // On-chip Z0 sits in the tens-to-few-hundred ohm range.
+  const WireGeometry g = globalWire();
+  const WireRc rc = computeWireRc(g);
+  const WireL l = computeWireL(g, 100 * um);
+  const RlcReport rep = analyzeRlcLine(rc, l, 1 * mm, 100.0, 1 * fF);
+  EXPECT_GT(rep.characteristicImpedance, 20.0);
+  EXPECT_LT(rep.characteristicImpedance, 500.0);
+}
+
+TEST(RlcLine, RejectsBadLength) {
+  const WireGeometry g = globalWire();
+  EXPECT_THROW(analyzeRlcLine(computeWireRc(g), computeWireL(g, 1e-4), 0.0,
+                              100.0, 1e-15),
+               std::invalid_argument);
+}
+
+TEST(RepeaterSegment, OptimalSegmentsSitAtRcRlcBoundary) {
+  // A known result the model reproduces: delay-optimal repeater segments
+  // are just at the edge of the inductive regime (attenuation ~ 0.3, time
+  // of flight comparable to the RC delay) at EVERY node — which is why
+  // the paper lists full-chip inductance extraction among the nanometer
+  // signal-integrity challenges.
+  for (int f : tech::roadmapFeatures()) {
+    const RlcReport rep = repeaterSegmentRlc(tech::nodeByFeature(f));
+    EXPECT_GT(rep.attenuation, 0.15) << f;
+    EXPECT_LT(rep.attenuation, 0.8) << f;
+    EXPECT_NEAR(rep.timeOfFlight / rep.rcDelay, 1.1, 0.4) << f;
+    EXPECT_TRUE(rep.inductanceMatters) << f;
+  }
+}
+
+}  // namespace
+}  // namespace nano::interconnect

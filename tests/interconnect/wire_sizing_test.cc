@@ -1,0 +1,69 @@
+#include "interconnect/wire_sizing.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::interconnect {
+namespace {
+
+const tech::TechNode& node50() { return tech::nodeByFeature(50); }
+
+TEST(WireSizing, WideningSpeedsUpRepeatedLines) {
+  // Wider wires cut R linearly and raise C sub-linearly: delay/m of the
+  // optimally repeated line falls monotonically with width.
+  const auto sweep = sweepWireSizing(node50(), {1.0, 2.0, 4.0, 8.0});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].delayPerMeter, sweep[i - 1].delayPerMeter);
+  }
+}
+
+TEST(WireSizing, WideningCostsEnergy) {
+  const auto sweep = sweepWireSizing(node50(), {1.0, 4.0, 8.0});
+  EXPECT_GT(sweep.back().energyPerMeterBit, sweep.front().energyPerMeterBit);
+}
+
+TEST(WireSizing, SpacingCutsCouplingEnergy) {
+  const auto sweep = sweepWireSizing(node50(), {2.0}, {1.0, 3.0});
+  EXPECT_LT(sweep[1].energyPerMeterBit, sweep[0].energyPerMeterBit);
+  EXPECT_GT(sweep[1].tracksPerWire, sweep[0].tracksPerWire);
+}
+
+TEST(WireSizing, TrackAccounting) {
+  const auto sweep = sweepWireSizing(node50(), {3.0}, {2.0});
+  EXPECT_NEAR(sweep[0].tracksPerWire, (3.0 + 2.0) / 2.0, 1e-9);
+}
+
+TEST(WireSizing, ParetoFrontierIsNonDominatedAndSorted) {
+  const auto sweep =
+      sweepWireSizing(node50(), {1.0, 2.0, 4.0, 8.0}, {1.0, 2.0});
+  const auto frontier = paretoFrontier(sweep);
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GE(frontier[i].delayPerMeter, frontier[i - 1].delayPerMeter);
+    EXPECT_LE(frontier[i].energyPerMeterBit, frontier[i - 1].energyPerMeterBit);
+  }
+  EXPECT_LE(frontier.size(), sweep.size());
+}
+
+TEST(WireSizing, ChoiceSpendsSlackForEnergy) {
+  const WireSizingChoice choice = chooseWireSizing(node50(), 0.10);
+  EXPECT_LE(choice.delayPaidFraction, 0.10 + 1e-9);
+  EXPECT_GE(choice.energySavedFraction, 0.0);
+  // The fastest geometry is the widest/densest: spending 10 % delay should
+  // recover real energy on a resistive top-level stack.
+  EXPECT_GT(choice.energySavedFraction, 0.05);
+}
+
+TEST(WireSizing, ZeroSlackDegeneratesToFastest) {
+  const WireSizingChoice choice = chooseWireSizing(node50(), 0.0);
+  EXPECT_NEAR(choice.delayPaidFraction, 0.0, 1e-9);
+  EXPECT_NEAR(choice.energySavedFraction, 0.0, 0.05);
+}
+
+TEST(WireSizing, Rejections) {
+  EXPECT_THROW(sweepWireSizing(node50(), {}), std::invalid_argument);
+  EXPECT_THROW(sweepWireSizing(node50(), {0.0}), std::invalid_argument);
+  EXPECT_THROW(chooseWireSizing(node50(), -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nano::interconnect

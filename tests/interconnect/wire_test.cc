@@ -1,0 +1,110 @@
+#include "interconnect/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace nano::interconnect {
+namespace {
+
+using namespace nano::units;
+
+WireGeometry referenceWire() {
+  WireGeometry g;
+  g.width = 0.5 * um;
+  g.spacing = 0.5 * um;
+  g.thickness = 1.0 * um;
+  g.ildThickness = 0.8 * um;
+  g.resistivity = 2.2e-8;
+  g.permittivity = 3.5;
+  return g;
+}
+
+TEST(WireRc, ResistanceFromGeometry) {
+  const WireRc rc = computeWireRc(referenceWire());
+  EXPECT_NEAR(rc.resistancePerM, 2.2e-8 / (0.5e-6 * 1.0e-6), 1.0);
+}
+
+TEST(WireRc, CapacitanceInRealisticRange) {
+  // Global wires run ~0.15-0.35 fF/um total.
+  const WireRc rc = computeWireRc(referenceWire());
+  EXPECT_GT(rc.totalCapPerM(), 0.10 * fF_per_um);
+  EXPECT_LT(rc.totalCapPerM(), 0.50 * fF_per_um);
+}
+
+TEST(WireRc, WideningCutsResistanceRaisesGroundCap) {
+  WireGeometry g = referenceWire();
+  const WireRc base = computeWireRc(g);
+  g.width *= 2.0;
+  const WireRc wide = computeWireRc(g);
+  EXPECT_NEAR(wide.resistancePerM, base.resistancePerM / 2.0, 1.0);
+  EXPECT_GT(wide.groundCapPerM, base.groundCapPerM);
+}
+
+TEST(WireRc, SpacingControlsCoupling) {
+  WireGeometry g = referenceWire();
+  const WireRc tight = computeWireRc(g);
+  g.spacing *= 3.0;
+  const WireRc loose = computeWireRc(g);
+  EXPECT_LT(loose.couplingCapPerM, tight.couplingCapPerM);
+  // Power ~ s^-1.34: tripling spacing cuts coupling ~4.4x.
+  EXPECT_NEAR(tight.couplingCapPerM / loose.couplingCapPerM,
+              std::pow(3.0, 1.34), 0.3);
+}
+
+TEST(WireRc, LowKDielectricCutsCap) {
+  WireGeometry g = referenceWire();
+  const WireRc hiK = computeWireRc(g);
+  g.permittivity = 2.0;
+  const WireRc loK = computeWireRc(g);
+  EXPECT_NEAR(loK.totalCapPerM() / hiK.totalCapPerM(), 2.0 / 3.5, 1e-9);
+}
+
+TEST(WireRc, WorstCaseMillerDoublesCoupling) {
+  const WireRc rc = computeWireRc(referenceWire());
+  EXPECT_NEAR(rc.worstCaseCapPerM() - rc.totalCapPerM(),
+              2.0 * rc.couplingCapPerM, 1e-18);
+}
+
+TEST(WireRc, RejectsBadGeometry) {
+  WireGeometry g = referenceWire();
+  g.width = 0.0;
+  EXPECT_THROW(computeWireRc(g), std::invalid_argument);
+  g = referenceWire();
+  g.spacing = -1.0;
+  EXPECT_THROW(computeWireRc(g), std::invalid_argument);
+}
+
+TEST(TopLevelWire, FollowsNodePitch) {
+  const auto& node = tech::nodeByFeature(50);
+  const WireGeometry g = topLevelWire(node);
+  EXPECT_DOUBLE_EQ(g.width, node.minGlobalWireWidth());
+  EXPECT_DOUBLE_EQ(g.thickness, node.globalWireThickness());
+  EXPECT_DOUBLE_EQ(g.permittivity, node.ildPermittivity);
+}
+
+TEST(TopLevelWire, WidthMultipleScales) {
+  const auto& node = tech::nodeByFeature(50);
+  const WireGeometry g = topLevelWire(node, 4.0);
+  EXPECT_DOUBLE_EQ(g.width, 4.0 * node.minGlobalWireWidth());
+}
+
+TEST(UnscaledGlobalWire, Is180nmGeometryEverywhere) {
+  for (int f : {180, 35}) {
+    const WireGeometry g = unscaledGlobalWire(tech::nodeByFeature(f));
+    EXPECT_DOUBLE_EQ(g.width, 0.6 * um);
+    EXPECT_DOUBLE_EQ(g.thickness, 1.2 * um);
+  }
+}
+
+TEST(UnscaledGlobalWire, MuchLowerResistanceAtSmallNodes) {
+  const auto& node = tech::nodeByFeature(35);
+  const WireRc scaled = computeWireRc(topLevelWire(node));
+  const WireRc unscaled = computeWireRc(unscaledGlobalWire(node));
+  EXPECT_LT(unscaled.resistancePerM, scaled.resistancePerM / 5.0);
+}
+
+}  // namespace
+}  // namespace nano::interconnect

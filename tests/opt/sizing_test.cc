@@ -1,0 +1,126 @@
+#include "opt/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.h"
+
+namespace nano::opt {
+namespace {
+
+using circuit::CellFunction;
+using circuit::Library;
+using circuit::Netlist;
+
+struct Fixture {
+  Library lib{tech::nodeByFeature(100)};
+  Netlist oversized = [this] {
+    // Everything at drive 4: plenty of downsizing headroom off-critical.
+    util::Rng rng(303);
+    circuit::GeneratorConfig cfg;
+    cfg.gates = 400;
+    cfg.outputs = 32;
+    Netlist nl = circuit::randomLogic(lib, cfg, rng);
+    for (int g : nl.gateIds()) {
+      const auto& cell = nl.node(g).cell;
+      nl.replaceCell(g, lib.pick(cell.function, 4.0, cell.vth, cell.vddDomain));
+    }
+    return nl;
+  }();
+};
+
+TEST(Downsize, SavesPowerAndArea) {
+  Fixture f;
+  const SizingResult r = downsizeForPower(f.oversized, f.lib);
+  EXPECT_GT(r.powerSavings(), 0.1);
+  EXPECT_GT(r.areaSavings(), 0.2);
+  EXPECT_GT(r.gatesResized, 0);
+}
+
+TEST(Downsize, TimingPreserved) {
+  Fixture f;
+  const SizingResult r = downsizeForPower(f.oversized, f.lib);
+  EXPECT_TRUE(r.timingAfter.meetsTiming());
+}
+
+TEST(Downsize, SubLinearPowerReturn) {
+  // The paper's Section 3.3 point: downsizing gives a sub-linear power
+  // return because wire capacitance does not shrink with the gates.
+  Fixture f;
+  const SizingResult r = downsizeForPower(f.oversized, f.lib);
+  EXPECT_LT(r.powerSavings(), r.areaSavings());
+}
+
+TEST(Downsize, ContinuousBeatsDiscreteSlightly) {
+  Fixture f;
+  SizingOptions discrete;
+  SizingOptions continuous;
+  continuous.continuousSizes = true;
+  const SizingResult d = downsizeForPower(f.oversized, f.lib, discrete);
+  const SizingResult c = downsizeForPower(f.oversized, f.lib, continuous);
+  EXPECT_GE(c.powerSavings(), d.powerSavings() - 0.02);
+}
+
+TEST(Downsize, RespectsMinDrive) {
+  Fixture f;
+  SizingOptions opt;
+  opt.minDrive = 2.0;
+  const SizingResult r = downsizeForPower(f.oversized, f.lib, opt);
+  for (int g : r.netlist.gateIds()) {
+    EXPECT_GE(r.netlist.node(g).cell.drive, 2.0 - 1e-9);
+  }
+}
+
+TEST(Upsize, RecoversAggressiveClock) {
+  Fixture f;
+  const Netlist chain = circuit::inverterChain(f.lib, 16, 1.0);
+  const double self = sta::analyze(chain).criticalPathDelay;
+  // Ask for 25 % faster than the unit-size chain.
+  const SizingResult r = upsizeForTiming(chain, f.lib, 0.75 * self);
+  EXPECT_TRUE(r.timingAfter.meetsTiming());
+  EXPECT_GT(r.gatesResized, 0);
+  EXPECT_GT(r.areaAfter, r.areaBefore);
+}
+
+TEST(Upsize, NoOpWhenAlreadyMet) {
+  Fixture f;
+  const Netlist chain = circuit::inverterChain(f.lib, 8);
+  const double self = sta::analyze(chain).criticalPathDelay;
+  const SizingResult r = upsizeForTiming(chain, f.lib, 2.0 * self);
+  EXPECT_EQ(r.gatesResized, 0);
+}
+
+TEST(SizeToLoad, ContinuousSizesCutPowerVsCoarseLibrary) {
+  // Paper Section 2.3: on-the-fly cell generation on top of a coarse
+  // library yields double-digit power reductions at fixed timing.
+  circuit::LibraryConfig coarseCfg;
+  coarseCfg.driveStrengths = {1, 4, 16};
+  Library coarse(tech::nodeByFeature(100), coarseCfg);
+  util::Rng rng(404);
+  circuit::GeneratorConfig gcfg;
+  gcfg.gates = 400;
+  Netlist nl = circuit::randomLogic(coarse, gcfg, rng);
+  // Map everything to drive 4 as a realistic synthesis starting point.
+  for (int g : nl.gateIds()) {
+    const auto& cell = nl.node(g).cell;
+    nl.replaceCell(g, coarse.pick(cell.function, 4.0));
+  }
+
+  SizingOptions discrete;
+  SizingOptions custom;
+  custom.continuousSizes = true;
+  const SizingResult d = sizeToLoad(nl, coarse, 4.0, discrete);
+  const SizingResult c = sizeToLoad(nl, coarse, 4.0, custom);
+  EXPECT_TRUE(c.timingAfter.meetsTiming());
+  EXPECT_GT(c.powerSavings(), d.powerSavings());
+}
+
+TEST(SizeToLoad, MeetsTiming) {
+  Fixture f;
+  SizingOptions opt;
+  opt.continuousSizes = true;
+  const SizingResult r = sizeToLoad(f.oversized, f.lib, 4.0, opt);
+  EXPECT_TRUE(r.timingAfter.meetsTiming());
+}
+
+}  // namespace
+}  // namespace nano::opt

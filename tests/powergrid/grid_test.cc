@@ -1,0 +1,107 @@
+#include "powergrid/grid_model.h"
+
+#include <gtest/gtest.h>
+
+#include "powergrid/irdrop.h"
+
+namespace nano::powergrid {
+namespace {
+
+GridConfig baseConfig() {
+  GridConfig cfg;
+  cfg.railPitch = 160e-6;
+  cfg.bumpPitch = 160e-6;
+  cfg.railWidth = 2e-6;
+  cfg.railSheetResistance = 0.05;
+  cfg.supplyVoltage = 1.0;
+  cfg.powerDensity = 5e5;
+  cfg.hotspotFactor = 1.0;
+  cfg.hotspotCellsRail = 0;
+  cfg.tilesX = 2;
+  cfg.tilesY = 2;
+  cfg.subdivisions = 8;
+  return cfg;
+}
+
+TEST(Grid, SolvesAndDropPositive) {
+  const GridSolution sol = solveGrid(baseConfig());
+  EXPECT_GT(sol.maxDrop, 0.0);
+  EXPECT_LT(sol.maxDropFraction, 1.0);
+  EXPECT_GT(sol.unknowns, 0u);
+}
+
+TEST(Grid, WiderRailsLowerDrop) {
+  GridConfig cfg = baseConfig();
+  const GridSolution narrow = solveGrid(cfg);
+  cfg.railWidth *= 4.0;
+  const GridSolution wide = solveGrid(cfg);
+  EXPECT_NEAR(narrow.maxDrop / wide.maxDrop, 4.0, 0.05);
+}
+
+TEST(Grid, DropQuadraticInBumpPitch) {
+  // The closed-form scaling law the mesh must reproduce: doubling both
+  // rail and bump pitch doubles lambda and quadruples the span, so the
+  // drop grows ~8x at fixed width... but since rails also serve a 2x
+  // strip, the mesh sees lambda*p^2 ~ p^3.
+  GridConfig cfg = baseConfig();
+  const GridSolution base = solveGrid(cfg);
+  cfg.railPitch *= 2.0;
+  cfg.bumpPitch *= 2.0;
+  const GridSolution coarse = solveGrid(cfg);
+  EXPECT_NEAR(coarse.maxDrop / base.maxDrop, 8.0, 1.5);
+}
+
+TEST(Grid, HotspotRaisesDrop) {
+  GridConfig cfg = baseConfig();
+  cfg.tilesX = cfg.tilesY = 3;
+  const GridSolution uniform = solveGrid(cfg);
+  cfg.hotspotFactor = 4.0;
+  cfg.hotspotCellsRail = 1;
+  const GridSolution hot = solveGrid(cfg);
+  EXPECT_GT(hot.maxDrop, 1.5 * uniform.maxDrop);
+  EXPECT_LT(hot.maxDrop, 4.5 * uniform.maxDrop);
+}
+
+TEST(Grid, FinerMeshConverges) {
+  GridConfig cfg = baseConfig();
+  cfg.subdivisions = 4;
+  const GridSolution coarse = solveGrid(cfg);
+  cfg.subdivisions = 16;
+  const GridSolution fine = solveGrid(cfg);
+  EXPECT_NEAR(coarse.maxDrop, fine.maxDrop, 0.1 * fine.maxDrop);
+}
+
+TEST(Grid, MatchesClosedFormWithLateralSharing) {
+  // The 2-D waffle shares each cell's current between the X and Y rails,
+  // so the mesh drop is ~half the 1-D closed-form rail drop.
+  GridConfig cfg = baseConfig();
+  const GridSolution sol = solveGrid(cfg);
+  const double closed =
+      railMaxDrop(cfg.railWidth, cfg.railPitch, cfg.bumpPitch,
+                  cfg.railSheetResistance, cfg.powerDensity, 1.0,
+                  cfg.supplyVoltage);
+  EXPECT_NEAR(sol.maxDrop / closed, 0.5, 0.08);
+}
+
+TEST(Grid, Rejections) {
+  GridConfig cfg = baseConfig();
+  cfg.railWidth = 0.0;
+  EXPECT_THROW(solveGrid(cfg), std::invalid_argument);
+  cfg = baseConfig();
+  cfg.subdivisions = 1;
+  EXPECT_THROW(solveGrid(cfg), std::invalid_argument);
+  cfg = baseConfig();
+  cfg.bumpPitch = 0.5 * cfg.railPitch;
+  EXPECT_THROW(solveGrid(cfg), std::invalid_argument);
+}
+
+TEST(GridConfigForNode, EncodesInterleavingConvention) {
+  const auto& node = tech::nodeByFeature(35);
+  const GridConfig cfg = gridConfigForNode(node, 4.0, 80e-6);
+  EXPECT_DOUBLE_EQ(cfg.railPitch, 160e-6);
+  EXPECT_DOUBLE_EQ(cfg.railWidth, 4.0 * node.minGlobalWireWidth());
+  EXPECT_DOUBLE_EQ(cfg.supplyVoltage, node.vdd);
+}
+
+}  // namespace
+}  // namespace nano::powergrid

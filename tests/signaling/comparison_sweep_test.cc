@@ -1,0 +1,88 @@
+// Cross-node / cross-length sweeps of the signaling strategy comparison:
+// where low-swing wins and by how much, as functions of the knobs the
+// paper discusses.
+#include <gtest/gtest.h>
+
+#include "signaling/comparison.h"
+#include "util/units.h"
+
+namespace nano::signaling {
+namespace {
+
+using namespace nano::units;
+
+class NodeLengthSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(NodeLengthSweep, LowSwingAlwaysWinsEnergy) {
+  const auto [feature, lengthMm] = GetParam();
+  const auto scores =
+      compareStrategies(tech::nodeByFeature(feature), lengthMm * mm);
+  EXPECT_LT(scores[2].link.energyPerTransition,
+            scores[0].link.energyPerTransition)
+      << feature << " nm, " << lengthMm << " mm";
+}
+
+TEST_P(NodeLengthSweep, LowSwingAlwaysWinsPeakCurrent) {
+  const auto [feature, lengthMm] = GetParam();
+  const auto scores =
+      compareStrategies(tech::nodeByFeature(feature), lengthMm * mm);
+  EXPECT_LT(scores[2].link.peakSupplyCurrent,
+            scores[0].link.peakSupplyCurrent);
+}
+
+TEST_P(NodeLengthSweep, DifferentialBeatsSingleEndedOnNoise) {
+  const auto [feature, lengthMm] = GetParam();
+  const auto scores =
+      compareStrategies(tech::nodeByFeature(feature), lengthMm * mm);
+  EXPECT_GT(scores[2].noise.noiseMargin, scores[1].noise.noiseMargin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NodeLengthSweep,
+    ::testing::Combine(::testing::Values(180, 100, 70, 50, 35),
+                       ::testing::Values(5.0, 10.0, 20.0)));
+
+TEST(ComparisonSweep, EnergyAdvantageRoughlySwingRatio) {
+  // The core low-swing arithmetic: wire energy ratio ~ Vswing/Vdd = 10x,
+  // degraded by the receiver overhead.
+  const auto& node = tech::nodeByFeature(70);
+  for (double lengthMm : {10.0, 20.0}) {
+    const auto scores = compareStrategies(node, lengthMm * mm);
+    const double ratio = scores[0].link.energyPerTransition /
+                         scores[2].link.energyPerTransition;
+    EXPECT_GT(ratio, 4.0) << lengthMm;
+    EXPECT_LT(ratio, 20.0) << lengthMm;  // repeater caps push it past 10x
+  }
+}
+
+TEST(ComparisonSweep, FullSwingDelayCompetitiveOnLongLines) {
+  // Repeated full-swing lines are delay-optimal; low-swing single-driver
+  // links give up speed as length grows quadratically. Check the ordering
+  // holds on a die-crossing run.
+  const auto& node = tech::nodeByFeature(50);
+  const auto scores = compareStrategies(node, 20 * mm);
+  EXPECT_LT(scores[0].link.delay, scores[2].link.delay * 1.5);
+}
+
+TEST(ComparisonSweep, BusPowerRatioStableAcrossWidths) {
+  const auto& node = tech::nodeByFeature(70);
+  const auto narrow = compareBus(node, 16, 10 * mm);
+  const auto wide = compareBus(node, 128, 10 * mm);
+  EXPECT_NEAR(narrow.powerRatio, wide.powerRatio, 0.05 * narrow.powerRatio);
+  // Totals scale with width.
+  EXPECT_NEAR(wide.fullSwing.powerAtGlobalClock /
+                  narrow.fullSwing.powerAtGlobalClock,
+              8.0, 0.1);
+}
+
+TEST(ComparisonSweep, EnergyDelayProductFavorsLowSwing) {
+  for (int f : {70, 50, 35}) {
+    const auto scores = compareStrategies(tech::nodeByFeature(f));
+    EXPECT_LT(scores[2].energyDelayProduct, scores[0].energyDelayProduct)
+        << f;
+  }
+}
+
+}  // namespace
+}  // namespace nano::signaling

@@ -1,0 +1,77 @@
+#include "sim/mna.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::sim {
+namespace {
+
+TEST(MnaSystem, SolvesTwoByTwo) {
+  MnaSystem sys(2);
+  sys.addA(0, 0, 2.0);
+  sys.addA(0, 1, 1.0);
+  sys.addA(1, 0, 1.0);
+  sys.addA(1, 1, 3.0);
+  sys.addB(0, 5.0);
+  sys.addB(1, 10.0);
+  const auto x = sys.solve();
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(MnaSystem, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] x = [2, 3] -> x = [3, 2].
+  MnaSystem sys(2);
+  sys.addA(0, 1, 1.0);
+  sys.addA(1, 0, 1.0);
+  sys.addB(0, 2.0);
+  sys.addB(1, 3.0);
+  const auto x = sys.solve();
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(MnaSystem, SingularThrows) {
+  MnaSystem sys(2);
+  sys.addA(0, 0, 1.0);
+  sys.addA(0, 1, 1.0);
+  sys.addA(1, 0, 1.0);
+  sys.addA(1, 1, 1.0);
+  EXPECT_THROW(sys.solve(), std::runtime_error);
+}
+
+TEST(MnaSystem, StampConductanceDivider) {
+  // 1 V across two series conductances g1 = 1, g2 = 1 via a Norton source:
+  // node1 -- g1 -- node2 -- g2 -- gnd, 1 A into node1.
+  MnaSystem sys(2);
+  sys.stampConductance(1, 2, 1.0);
+  sys.stampConductance(2, 0, 1.0);
+  sys.stampCurrent(0, 1, 1.0);
+  const auto x = sys.solve();
+  EXPECT_NEAR(x[0], 2.0, 1e-12);  // node 1
+  EXPECT_NEAR(x[1], 1.0, 1e-12);  // node 2
+}
+
+TEST(MnaSystem, GroundStampsIgnored) {
+  MnaSystem sys(1);
+  sys.stampConductance(1, 0, 2.0);
+  sys.stampCurrent(0, 1, 4.0);
+  const auto x = sys.solve();
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+}
+
+TEST(MnaSystem, ClearResets) {
+  MnaSystem sys(1);
+  sys.addA(0, 0, 1.0);
+  sys.addB(0, 1.0);
+  sys.clear();
+  sys.addA(0, 0, 2.0);
+  sys.addB(0, 4.0);
+  EXPECT_NEAR(sys.solve()[0], 2.0, 1e-12);
+}
+
+TEST(MnaSystem, RejectsEmpty) {
+  EXPECT_THROW(MnaSystem(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nano::sim

@@ -1,0 +1,123 @@
+#include "tech/itrs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace nano::tech {
+namespace {
+
+using namespace nano::units;
+
+TEST(Roadmap, HasSixNodesInScalingOrder) {
+  const auto& nodes = roadmap();
+  ASSERT_EQ(nodes.size(), 6u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].featureNm, nodes[i - 1].featureNm);
+    EXPECT_GT(nodes[i].year, nodes[i - 1].year);
+  }
+}
+
+TEST(Roadmap, LookupByFeature) {
+  EXPECT_EQ(nodeByFeature(100).featureNm, 100);
+  EXPECT_EQ(nodeByFeature(35).year, 2014);
+  EXPECT_THROW(nodeByFeature(90), std::out_of_range);
+}
+
+TEST(Roadmap, SupplyVoltageMonotonicallyFalls) {
+  const auto& nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(nodes[i].vdd, nodes[i - 1].vdd);
+  }
+}
+
+TEST(Roadmap, OxideAndGateLengthShrink) {
+  const auto& nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].toxPhysical, nodes[i - 1].toxPhysical);
+    EXPECT_LT(nodes[i].leff, nodes[i - 1].leff);
+  }
+}
+
+TEST(Roadmap, IoffProjectionDoublesPerGeneration) {
+  // The ITRS predicts ~2x Ioff per generation (paper Section 3.1);
+  // our encoded values follow within a factor band.
+  const auto& nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const double ratio = nodes[i].ioffItrs / nodes[i - 1].ioffItrs;
+    EXPECT_GE(ratio, 1.2);
+    EXPECT_LE(ratio, 3.0);
+  }
+}
+
+TEST(Roadmap, IonTargetConstant750) {
+  for (const auto& n : roadmap()) {
+    EXPECT_DOUBLE_EQ(n.ionTarget, 750.0 * uA_per_um);
+  }
+}
+
+TEST(Roadmap, PaperAnchors35nm) {
+  // Section 4: the 35 nm MPU draws 300 A peak and may burn 30 A in standby
+  // at the 10 % static cap; 4416 pads imply a 356 um effective pitch.
+  const auto& n = nodeByFeature(35);
+  EXPECT_NEAR(n.supplyCurrent(), 300.0, 1.0);
+  EXPECT_NEAR(0.1 * n.maxPower / n.vdd, 30.0, 0.5);
+  EXPECT_NEAR(n.itrsEffectiveBumpPitch() / um, 356.0, 4.0);
+  EXPECT_EQ(n.itrsVddPads, 1500);
+}
+
+TEST(Roadmap, ThetaJaRequirementTightens) {
+  // 180 nm: ~0.6 K/W (paper: 0.6-1.0 today); by 100 nm ~0.25 K/W (the
+  // "theta_ja of 0.25 in 3 years" ITRS call-out).
+  EXPECT_NEAR(nodeByFeature(180).requiredThetaJa(), 0.61, 0.03);
+  EXPECT_NEAR(nodeByFeature(100).requiredThetaJa(), 0.25, 0.03);
+  const auto& nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(nodes[i].requiredThetaJa(), nodes[i - 1].requiredThetaJa());
+  }
+}
+
+TEST(Roadmap, JunctionTempDropsTo85C) {
+  EXPECT_NEAR(toCelsius(nodeByFeature(180).tjMax), 100.0, 0.1);
+  for (int f : {130, 100, 70, 50, 35}) {
+    EXPECT_NEAR(toCelsius(nodeByFeature(f).tjMax), 85.0, 0.1);
+  }
+}
+
+TEST(Roadmap, PowerDensityRises) {
+  EXPECT_GT(nodeByFeature(35).powerDensity(),
+            nodeByFeature(180).powerDensity());
+}
+
+TEST(Roadmap, Footnote9AreaJump50To35) {
+  // "Total power at 50 nm increases only slightly while the area jumps 15%".
+  const auto& n50 = nodeByFeature(50);
+  const auto& n35 = nodeByFeature(35);
+  EXPECT_NEAR(n35.dieArea / n50.dieArea, 1.15, 0.01);
+  EXPECT_LT((n35.maxPower - n50.maxPower) / n50.maxPower, 0.05);
+}
+
+TEST(Roadmap, DerivedWireGeometry) {
+  const auto& n = nodeByFeature(180);
+  EXPECT_DOUBLE_EQ(n.minGlobalWireWidth(), 0.5 * n.globalWirePitch);
+  EXPECT_DOUBLE_EQ(n.globalWireThickness(), 2.0 * n.minGlobalWireWidth());
+}
+
+TEST(Roadmap, FeatureListMatchesDatabase) {
+  for (int f : roadmapFeatures()) {
+    EXPECT_NO_THROW(nodeByFeature(f));
+  }
+}
+
+TEST(Roadmap, BumpPitchShrinksButPadCountLags) {
+  const auto& nodes = roadmap();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].minBumpPitch, nodes[i - 1].minBumpPitch);
+    EXPECT_GT(nodes[i].itrsPadCount, nodes[i - 1].itrsPadCount);
+    // The ITRS effective pitch stays far above the minimum pitch.
+    EXPECT_GT(nodes[i].itrsEffectiveBumpPitch(), 2.0 * nodes[i].minBumpPitch);
+  }
+}
+
+}  // namespace
+}  // namespace nano::tech

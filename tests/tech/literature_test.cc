@@ -1,0 +1,73 @@
+#include "tech/literature.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::tech {
+namespace {
+
+TEST(Table1, HasSixPublishedAndThreeItrsRows) {
+  const auto& rows = table1Devices();
+  int published = 0, itrs = 0;
+  for (const auto& r : rows) {
+    (r.isItrsProjection ? itrs : published)++;
+  }
+  EXPECT_EQ(published, 6);
+  EXPECT_EQ(itrs, 3);
+}
+
+TEST(Table1, NoSub1VPublishedDeviceMeetsItrsIon) {
+  // The paper's key reading of Table 1: no published sub-1 V technology
+  // reaches the 750 uA/um target.
+  for (const auto& r : table1Devices()) {
+    if (r.isItrsProjection) continue;
+    if (r.vdd < 1.0) {
+      EXPECT_LT(r.ionUaPerUm, 750.0) << r.reference;
+    }
+  }
+}
+
+TEST(Table1, PublishedHighIonDevicesNeed12V) {
+  // Devices at/above the Ion target all run at 1.2 V.
+  for (const auto& r : table1Devices()) {
+    if (r.isItrsProjection) continue;
+    if (r.ionUaPerUm >= 750.0) {
+      EXPECT_GE(r.vdd, 1.2) << r.reference;
+    }
+  }
+}
+
+TEST(Table1, ChauRowValues) {
+  const auto& r = table1Devices().front();
+  EXPECT_NE(r.reference.find("[24]"), std::string::npos);
+  EXPECT_EQ(r.toxAngstrom, 18.0);
+  EXPECT_EQ(r.vdd, 0.85);
+  EXPECT_EQ(r.ionUaPerUm, 514.0);
+  EXPECT_EQ(r.ioffNaPerUm, 100.0);
+  EXPECT_EQ(r.toxKind, ToxKind::Electrical);
+}
+
+TEST(Table1, ItrsRowsUsePhysicalTox) {
+  for (const auto& r : table1Devices()) {
+    if (r.isItrsProjection) {
+      EXPECT_EQ(r.toxKind, ToxKind::Physical) << r.itrsNode;
+      EXPECT_EQ(r.ionUaPerUm, 750.0);
+    }
+  }
+}
+
+TEST(Figure2Data, PointsInPlausibleRange) {
+  const auto& pts = figure2DataPoints();
+  ASSERT_GE(pts.size(), 2u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.ionGainPercent, 5.0);
+    EXPECT_LE(p.ionGainPercent, 30.0);
+    EXPECT_EQ(p.nodeNm, 130);
+  }
+}
+
+TEST(Historical, IonUnderestimateIs20Percent) {
+  EXPECT_DOUBLE_EQ(historicalIonUnderestimate(), 0.20);
+}
+
+}  // namespace
+}  // namespace nano::tech

@@ -1,0 +1,117 @@
+#include "thermal/dtm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace nano::thermal {
+namespace {
+
+using namespace nano::units;
+
+struct Fixture {
+  // Package sized for the effective worst case of a 100 W design:
+  // theta = 40 K / 75 W = 0.533; a virus would push Tj to 98 C.
+  ThermalPackage package{0.533, 0.02};
+  double worstCase = 100.0;
+  double tAmbient = fromCelsius(45.0);
+  DtmPolicy policy = [] {
+    DtmPolicy p;
+    p.tripTemperature = fromCelsius(83.0);
+    p.hysteresis = 3.0;
+    p.throttleFactor = 0.5;
+    p.sensorDelay = 50e-6;
+    return p;
+  }();
+};
+
+TEST(Dtm, VirusWithoutDtmOverheats) {
+  Fixture f;
+  DtmPolicy off = f.policy;
+  off.enabled = false;
+  const DtmResult r = simulateDtm(f.package, powerVirus(0.5), f.worstCase,
+                                  f.tAmbient, off);
+  EXPECT_GT(r.maxTemperature, fromCelsius(95.0));
+  EXPECT_DOUBLE_EQ(r.throughputFraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.throttledFraction, 0.0);
+}
+
+TEST(Dtm, VirusWithDtmStaysNearTrip) {
+  Fixture f;
+  const DtmResult r = simulateDtm(f.package, powerVirus(0.5), f.worstCase,
+                                  f.tAmbient, f.policy);
+  EXPECT_LT(r.maxTemperature, f.policy.tripTemperature + 2.0);
+  EXPECT_GT(r.throttledFraction, 0.1);
+  EXPECT_LT(r.throughputFraction, 1.0);
+}
+
+TEST(Dtm, TypicalApplicationRunsUnthrottled) {
+  // The whole point of rating for the effective worst case: real apps
+  // (<= 75 % of virus power) never trip the sensor.
+  Fixture f;
+  util::Rng rng(99);
+  const PowerTrace app = typicalApplication(rng, 0.5);
+  const DtmResult r =
+      simulateDtm(f.package, app, f.worstCase, f.tAmbient, f.policy);
+  EXPECT_LT(r.throttledFraction, 0.02);
+  EXPECT_GT(r.throughputFraction, 0.98);
+  EXPECT_LT(r.maxTemperature, fromCelsius(85.0));
+}
+
+TEST(Dtm, VddScalingThrottleCutsPowerFaster) {
+  Fixture f;
+  DtmPolicy freqOnly = f.policy;
+  DtmPolicy freqVdd = f.policy;
+  freqVdd.kind = ThrottleKind::ClockAndVdd;
+  const DtmResult a = simulateDtm(f.package, powerVirus(0.5), f.worstCase,
+                                  f.tAmbient, freqOnly);
+  const DtmResult b = simulateDtm(f.package, powerVirus(0.5), f.worstCase,
+                                  f.tAmbient, freqVdd);
+  // Cubic power cut -> cooler; time spent throttled is lower.
+  EXPECT_LE(b.throttledFraction, a.throttledFraction + 1e-9);
+  EXPECT_LE(b.avgTemperature, a.avgTemperature + 0.5);
+}
+
+TEST(Dtm, HysteresisPreventsChatter) {
+  Fixture f;
+  const DtmResult r = simulateDtm(f.package, powerVirus(0.2), f.worstCase,
+                                  f.tAmbient, f.policy, 20e-6, 1);
+  // Count throttle boundary crossings via the power trace: with 3 K of
+  // hysteresis the controller cannot toggle every sample.
+  int toggles = 0;
+  for (std::size_t i = 1; i < r.powerW.size(); ++i) {
+    if (r.powerW[i] != r.powerW[i - 1]) ++toggles;
+  }
+  EXPECT_LT(toggles, static_cast<int>(r.powerW.size()) / 10);
+}
+
+TEST(Dtm, TraceIsRecorded) {
+  Fixture f;
+  const DtmResult r = simulateDtm(f.package, powerVirus(0.1), f.worstCase,
+                                  f.tAmbient, f.policy);
+  ASSERT_FALSE(r.timeS.empty());
+  EXPECT_EQ(r.timeS.size(), r.temperatureK.size());
+  EXPECT_EQ(r.timeS.size(), r.powerW.size());
+}
+
+TEST(Dtm, Rejections) {
+  Fixture f;
+  EXPECT_THROW(simulateDtm(f.package, powerVirus(0.1), 100.0, f.tAmbient,
+                           f.policy, 0.0),
+               std::invalid_argument);
+  PowerTrace empty;
+  EXPECT_THROW(
+      simulateDtm(f.package, empty, 100.0, f.tAmbient, f.policy),
+      std::invalid_argument);
+}
+
+TEST(DefaultPolicy, TripsBelowNodeLimit) {
+  const auto& node = tech::nodeByFeature(70);
+  const DtmPolicy p = defaultPolicyFor(node);
+  EXPECT_LT(p.tripTemperature, node.tjMax);
+  EXPECT_GT(p.tripTemperature, node.tjMax - 5.0);
+  EXPECT_TRUE(p.enabled);
+}
+
+}  // namespace
+}  // namespace nano::thermal

@@ -1,0 +1,107 @@
+#include "thermal/dvfs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace nano::thermal {
+namespace {
+
+using namespace nano::units;
+
+PowerTrace demand(std::initializer_list<double> fractions, double phase = 1e-3) {
+  PowerTrace t;
+  for (double f : fractions) t.phases.push_back({phase, f});
+  return t;
+}
+
+struct Fixture {
+  ThermalPackage package{0.5, 0.02};
+  double peak = 100.0;
+  double tAmbient = fromCelsius(45.0);
+};
+
+TEST(Dvfs, FullDemandMatchesFullSpeedBaseline) {
+  Fixture f;
+  const DvfsResult r =
+      simulateDvfs(f.package, demand({1.0, 1.0}), f.peak, f.tAmbient);
+  EXPECT_NEAR(r.energy, r.energyFullSpeed, 1e-9 * r.energyFullSpeed);
+  EXPECT_NEAR(r.throughputDelivered, 1.0, 1e-12);
+  EXPECT_NEAR(r.energySavings(), 0.0, 1e-9);
+}
+
+TEST(Dvfs, LightLoadSavesQuadratically) {
+  // At 40 % demand the governor drops to the (0.4, 0.7) level: active
+  // energy scales by 0.7^2 ~ 0.49 vs running the same work at full V.
+  Fixture f;
+  const DvfsResult r =
+      simulateDvfs(f.package, demand({0.4}), f.peak, f.tAmbient);
+  EXPECT_GT(r.energySavings(), 0.3);
+  EXPECT_NEAR(r.throughputDelivered, 1.0, 1e-12);
+}
+
+TEST(Dvfs, SavingsGrowAsLoadFalls) {
+  Fixture f;
+  double prev = -1.0;
+  for (double d : {1.0, 0.8, 0.6, 0.4, 0.2}) {
+    const DvfsResult r =
+        simulateDvfs(f.package, demand({d}), f.peak, f.tAmbient);
+    EXPECT_GE(r.energySavings(), prev - 1e-9) << d;
+    prev = r.energySavings();
+  }
+}
+
+TEST(Dvfs, ThroughputNeverSacrificed) {
+  // The governor always covers the demand with an admissible level (the
+  // fastest level reaches 1.0), so work is never dropped.
+  Fixture f;
+  const DvfsResult r = simulateDvfs(
+      f.package, demand({0.1, 0.9, 0.5, 1.0, 0.3}), f.peak, f.tAmbient);
+  EXPECT_NEAR(r.throughputDelivered, 1.0, 1e-12);
+}
+
+TEST(Dvfs, RunsCoolerThanRaceToIdle) {
+  Fixture f;
+  const DvfsResult scaled = simulateDvfs(
+      f.package, demand({0.5, 0.5, 0.5, 0.5, 0.5}, 5e-3), f.peak, f.tAmbient);
+  // Race-to-idle average power is energyFullSpeed / T; it corresponds to a
+  // hotter steady state.
+  const double raceAvg =
+      scaled.energyFullSpeed / (5 * 5e-3);
+  EXPECT_LT(scaled.avgPower, raceAvg);
+  EXPECT_LT(scaled.maxTemperature,
+            f.package.junctionTemperature(raceAvg, f.tAmbient) + 1.0);
+}
+
+TEST(Dvfs, SingleLevelDegeneratesToThrottleFree) {
+  Fixture f;
+  DvfsPolicy oneLevel;
+  oneLevel.levels = {{1.0, 1.0}};
+  const DvfsResult r =
+      simulateDvfs(f.package, demand({0.3}), f.peak, f.tAmbient, oneLevel);
+  EXPECT_NEAR(r.energySavings(), 0.0, 1e-9);
+}
+
+TEST(Dvfs, DemandAboveAllLevelsUsesFastest) {
+  Fixture f;
+  DvfsPolicy slowOnly;
+  slowOnly.levels = {{0.5, 0.7}, {0.25, 0.6}};
+  const DvfsResult r =
+      simulateDvfs(f.package, demand({1.0}), f.peak, f.tAmbient, slowOnly);
+  // Only half the demanded work can be delivered.
+  EXPECT_NEAR(r.throughputDelivered, 0.5, 1e-9);
+}
+
+TEST(Dvfs, Rejections) {
+  Fixture f;
+  DvfsPolicy empty;
+  empty.levels.clear();
+  EXPECT_THROW(simulateDvfs(f.package, demand({0.5}), f.peak, f.tAmbient, empty),
+               std::invalid_argument);
+  PowerTrace none;
+  EXPECT_THROW(simulateDvfs(f.package, none, f.peak, f.tAmbient),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nano::thermal

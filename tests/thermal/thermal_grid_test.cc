@@ -1,0 +1,110 @@
+#include "thermal/thermal_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace nano::thermal {
+namespace {
+
+using namespace nano::units;
+
+ThermalGridConfig base() {
+  ThermalGridConfig cfg;
+  cfg.thetaJa = 0.3;
+  cfg.ambient = fromCelsius(45.0);
+  cfg.totalPower = 100.0;
+  cfg.hotspotFactor = 1.0;
+  cfg.hotspotFraction = 0.0;
+  cfg.cells = 20;
+  return cfg;
+}
+
+TEST(ThermalGrid, UniformPowerReproducesEquationOne) {
+  // With no hot-spot the map is flat at Ta + theta*P (Eq. 1).
+  const ThermalMap map = solveThermalGrid(base());
+  const double expected = fromCelsius(45.0) + 0.3 * 100.0;
+  EXPECT_NEAR(map.avgT, expected, 0.01);
+  EXPECT_NEAR(map.maxT, expected, 0.01);
+  EXPECT_NEAR(map.hotspotContrast, 1.0, 0.001);
+}
+
+TEST(ThermalGrid, AverageRiseIndependentOfHotspot) {
+  // Total power fixed: the average junction rise stays theta*P no matter
+  // how the power is distributed.
+  ThermalGridConfig cfg = base();
+  const double flatAvg = solveThermalGrid(cfg).avgT;
+  cfg.hotspotFactor = 4.0;
+  cfg.hotspotFraction = 0.15;
+  const ThermalMap hot = solveThermalGrid(cfg);
+  EXPECT_NEAR(hot.avgT, flatAvg, 0.05);
+  EXPECT_GT(hot.maxT, hot.avgT);
+}
+
+TEST(ThermalGrid, SpreadingFlattensTheFourXHotspot) {
+  // The paper's Section 4 hot-spot carries 4x the power density, but the
+  // temperature contrast is far below 4x thanks to lateral spreading —
+  // while still being clearly above 1.
+  ThermalGridConfig cfg = base();
+  cfg.hotspotFactor = 4.0;
+  cfg.hotspotFraction = 0.15;
+  const ThermalMap map = solveThermalGrid(cfg);
+  EXPECT_GT(map.hotspotContrast, 1.15);
+  EXPECT_LT(map.hotspotContrast, 4.0);
+}
+
+TEST(ThermalGrid, WeakSpreadingApproachesDensityContrast) {
+  ThermalGridConfig cfg = base();
+  cfg.hotspotFactor = 4.0;
+  cfg.hotspotFraction = 0.15;
+  cfg.lateralConductance = 0.01;  // nearly no spreading
+  const ThermalMap weak = solveThermalGrid(cfg);
+  cfg.lateralConductance = 10.0;  // copper-spreader-class
+  const ThermalMap strong = solveThermalGrid(cfg);
+  EXPECT_GT(weak.hotspotContrast, 2.5);
+  EXPECT_LT(strong.hotspotContrast, 1.5);
+}
+
+TEST(ThermalGrid, HotterPackageHotterDie) {
+  ThermalGridConfig cfg = base();
+  const ThermalMap good = solveThermalGrid(cfg);
+  cfg.thetaJa = 0.6;
+  const ThermalMap bad = solveThermalGrid(cfg);
+  EXPECT_GT(bad.maxT, good.maxT);
+  EXPECT_NEAR(bad.avgT - cfg.ambient, 2.0 * (good.avgT - cfg.ambient), 0.1);
+}
+
+TEST(ThermalGrid, MeshRefinementStable) {
+  ThermalGridConfig cfg = base();
+  cfg.hotspotFactor = 4.0;
+  // 0.25 divides both meshes exactly (3/12 and 9/36 cells), so refinement
+  // changes only the discretization, not the hot-spot geometry.
+  cfg.hotspotFraction = 0.25;
+  cfg.cells = 12;
+  const double coarse = solveThermalGrid(cfg).maxT;
+  cfg.cells = 36;
+  const double fine = solveThermalGrid(cfg).maxT;
+  EXPECT_NEAR(coarse, fine, 0.06 * (fine - cfg.ambient));
+}
+
+TEST(ThermalGrid, NodeConfigUsesRoadmap) {
+  const auto& node = tech::nodeByFeature(35);
+  const ThermalGridConfig cfg = thermalGridForNode(node);
+  EXPECT_NEAR(cfg.totalPower, node.maxPower, 1e-9);
+  EXPECT_NEAR(cfg.thetaJa, node.requiredThetaJa(), 1e-9);
+  // Solving at the required theta_ja lands the average at the Tj limit.
+  const ThermalMap map = solveThermalGrid(cfg);
+  EXPECT_NEAR(map.avgT, node.tjMax, 0.1);
+}
+
+TEST(ThermalGrid, Rejections) {
+  ThermalGridConfig cfg = base();
+  cfg.cells = 1;
+  EXPECT_THROW(solveThermalGrid(cfg), std::invalid_argument);
+  cfg = base();
+  cfg.thetaJa = 0.0;
+  EXPECT_THROW(solveThermalGrid(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nano::thermal

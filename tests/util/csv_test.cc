@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nano::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "nanodesign_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndNumericRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.row(std::vector<double>{1.5, 2.0});
+  }
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+TEST_F(CsvTest, StringRows) {
+  {
+    CsvWriter w(path_, {"x", "y"});
+    w.row(std::vector<std::string>{"hello", "world"});
+  }
+  EXPECT_NE(slurp(path_).find("hello,world\n"), std::string::npos);
+}
+
+TEST_F(CsvTest, RowWidthEnforced) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.row(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(w.row(std::vector<std::string>{"1", "2", "3"}),
+               std::invalid_argument);
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, LineCountMatchesRows) {
+  {
+    CsvWriter w(path_, {"v"});
+    for (int i = 0; i < 10; ++i) w.row(std::vector<double>{1.0 * i});
+  }
+  std::ifstream in(path_);
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 11);  // header + 10 rows
+}
+
+}  // namespace
+}  // namespace nano::util

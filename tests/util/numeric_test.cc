@@ -1,0 +1,171 @@
+#include "util/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nano::util {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(Bisect, ThrowsWithoutBracket) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  auto r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-9);
+}
+
+TEST(Brent, FindsRootFasterThanBisect) {
+  int evalBrent = 0;
+  auto f = [&](double x) {
+    ++evalBrent;
+    return std::cos(x) - x;
+  };
+  auto r = brent(f, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-9);
+  EXPECT_LT(r.iterations, 20);
+}
+
+TEST(Brent, HandlesSteepExponential) {
+  // Like the Vth solve: exponential in x.
+  auto r = brent([](double x) { return std::pow(10.0, -x / 0.085) - 1e-3; },
+                 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.085 * 3.0, 1e-6);
+}
+
+TEST(Brent, ThrowsWithoutBracket) {
+  EXPECT_THROW(brent([](double x) { return x * x + 0.5; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BracketAndSolve, ExpandsToFindRoot) {
+  // Root at 5, initial interval [0, 1] does not bracket it.
+  auto r = bracketAndSolve([](double x) { return x - 5.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 5.0, 1e-9);
+}
+
+TEST(BracketAndSolve, ExpandsDownward) {
+  auto r = bracketAndSolve([](double x) { return x + 7.0; }, 0.0, 1.0);
+  EXPECT_NEAR(r.x, -7.0, 1e-9);
+}
+
+TEST(BracketAndSolve, ThrowsWhenNoRoot) {
+  EXPECT_THROW(
+      bracketAndSolve([](double x) { return x * x + 1.0; }, 0.0, 1.0, 8),
+      std::invalid_argument);
+}
+
+TEST(MinimizeGolden, FindsParabolaMinimum) {
+  auto r = minimizeGolden([](double x) { return (x - 1.5) * (x - 1.5); }, 0.0,
+                          4.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+}
+
+TEST(MinimizeGolden, FindsAsymmetricMinimum) {
+  auto f = [](double x) { return x + 1.0 / x; };  // min at x = 1
+  auto r = minimizeGolden(f, 0.1, 10.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-5);
+  EXPECT_NEAR(r.fx, 2.0, 1e-9);
+}
+
+TEST(LinearInterpolator, InterpolatesInside) {
+  LinearInterpolator li({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(li(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(li(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(li(1.0), 10.0);
+}
+
+TEST(LinearInterpolator, ExtrapolatesFromEndSegments) {
+  LinearInterpolator li({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(li(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(li(-1.0), -2.0);
+}
+
+TEST(LinearInterpolator, RejectsBadInput) {
+  EXPECT_THROW(LinearInterpolator({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator({1.0, 1.0}, {0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LinearInterpolator({1.0, 2.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Linspace, RejectsTooFewPoints) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Logspace, GeometricSpacing) {
+  auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-12);
+}
+
+TEST(Logspace, RejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Trapz, IntegratesLine) {
+  // Integral of y = x over [0, 1] = 0.5, exact for trapezoid.
+  auto xs = linspace(0.0, 1.0, 11);
+  std::vector<double> ys = xs;
+  EXPECT_NEAR(trapz(xs, ys), 0.5, 1e-12);
+}
+
+TEST(Trapz, IntegratesParabolaApproximately)
+{
+  auto xs = linspace(0.0, 1.0, 201);
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(x * x);
+  EXPECT_NEAR(trapz(xs, ys), 1.0 / 3.0, 1e-4);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approxEqual(1.0, 1.1));
+  EXPECT_TRUE(approxEqual(0.0, 1e-12, 1e-9, 1e-9));
+}
+
+// Property sweep: brent and bisect agree on a family of shifted cubics.
+class RootAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootAgreement, BrentMatchesBisect) {
+  const double shift = GetParam();
+  auto f = [shift](double x) { return x * x * x - shift; };
+  const double hi = std::max(2.0, std::cbrt(shift) + 1.0);
+  auto rb = bisect(f, -hi, hi, 1e-13, 400);
+  auto rr = brent(f, -hi, hi, 1e-13);
+  EXPECT_NEAR(rb.x, rr.x, 1e-9);
+  EXPECT_NEAR(rr.x, std::cbrt(shift), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, RootAgreement,
+                         ::testing::Values(0.125, 1.0, 8.0, 27.0, 1000.0));
+
+}  // namespace
+}  // namespace nano::util

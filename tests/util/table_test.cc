@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nano::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+  EXPECT_NE(out.find("+---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsWidenToContent) {
+  TextTable t({"x"});
+  t.addRow({"very-long-cell"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("very-long-cell"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"a"});
+  t.addRow({"1"});
+  t.addRule();
+  t.addRow({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // 5 horizontal rules: top, under header, mid, bottom... count '+' lines.
+  int rules = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.0, 0), "-1");
+}
+
+TEST(FmtSci, SignificantDigits) {
+  EXPECT_EQ(fmtSci(12345.0, 3), "1.23e+04");
+}
+
+TEST(FmtEng, PicksPrefix) {
+  EXPECT_EQ(fmtEng(1.5e-9, "A", 3), "1.5 nA");
+  EXPECT_EQ(fmtEng(2.2e6, "Hz", 3), "2.2 MHz");
+  EXPECT_EQ(fmtEng(0.0, "V", 3), "0 V");
+  EXPECT_EQ(fmtEng(-3.3e-3, "V", 2), "-3.3 mV");
+}
+
+}  // namespace
+}  // namespace nano::util
