@@ -3,8 +3,11 @@
 // solve, the transient simulator, and the device-model Vth solve.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "circuit/generator.h"
 #include "device/mosfet.h"
+#include "obs/obs.h"
 #include "opt/dual_vth.h"
 #include "powergrid/grid_model.h"
 #include "sim/circuit_sim.h"
@@ -32,6 +35,7 @@ void BM_VthSolve(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(device::solveVthForIon(node, node.ionTarget));
   }
+  state.SetItemsProcessed(state.iterations());  // Vth solves
 }
 BENCHMARK(BM_VthSolve);
 
@@ -46,9 +50,15 @@ BENCHMARK(BM_Sta)->Arg(1000)->Arg(4000)->Arg(16000);
 
 void BM_DualVth(benchmark::State& state) {
   const circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  double fractionHigh = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(opt::runDualVth(nl, lib100()));
+    const opt::DualVthResult r = opt::runDualVth(nl, lib100());
+    fractionHigh = r.fractionHighVth;
+    benchmark::DoNotOptimize(fractionHigh);
   }
+  // gates examined per second; fraction converted for PR-over-PR sanity
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["fraction_high_vth"] = fractionHigh;
 }
 BENCHMARK(BM_DualVth)->Arg(500)->Unit(benchmark::kMillisecond);
 
@@ -61,9 +71,19 @@ void BM_GridSolve(benchmark::State& state) {
   cfg.subdivisions = 8;
   cfg.hotspotFactor = 4.0;
   cfg.hotspotCellsRail = 1;
+  std::size_t unknowns = 0;
+  int cgIterations = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(powergrid::solveGrid(cfg));
+    const powergrid::GridSolution sol = powergrid::solveGrid(cfg);
+    unknowns = sol.unknowns;
+    cgIterations = sol.cgIterations;
+    benchmark::DoNotOptimize(sol.maxDrop);
   }
+  // unknowns solved per second; iteration count tracks solver health
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(unknowns));
+  state.counters["unknowns"] = static_cast<double>(unknowns);
+  state.counters["cg_iterations"] = static_cast<double>(cgIterations);
 }
 BENCHMARK(BM_GridSolve)->Arg(3)->Arg(6)->Unit(benchmark::kMillisecond);
 
@@ -85,13 +105,30 @@ void BM_TransientSim(benchmark::State& state) {
     ckt.addInverter(prev, out, vdd, model, inv.wn(), inv.wp());
     prev = out;
   }
+  std::size_t timesteps = 0;
   for (auto _ : state) {
     sim::Simulator sim(ckt);
-    benchmark::DoNotOptimize(sim.transient(300e-12, 0.5e-12));
+    const sim::TransientResult res = sim.transient(300e-12, 0.5e-12);
+    timesteps = res.time.size() - 1;
+    benchmark::DoNotOptimize(res.voltages);
   }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(timesteps));  // timesteps/s
 }
 BENCHMARK(BM_TransientSim)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus the obs run report (NANO_OBS=1) so kernel
+// timings come with solver convergence counters attached.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (nano::obs::enabled()) {
+    std::cout << '\n';
+    nano::obs::printRunReport(std::cout);
+  }
+  return 0;
+}

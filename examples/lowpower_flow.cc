@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "circuit/generator.h"
+#include "obs/obs.h"
 #include "opt/combined.h"
 #include "util/table.h"
 
@@ -71,5 +72,10 @@ int main() {
             << fmt(100 * other.stages.back().fractionLowVdd, 0)
             << " % vs " << fmt(100 * flow.stages[0].fractionLowVdd, 0)
             << " % of gates at Vdd,l).\n";
+
+  if (obs::enabled()) {
+    std::cout << '\n';
+    obs::printRunReport(std::cout);
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 //  3. audit bump current and the standby wake-up transient, sizing decap.
 #include <iostream>
 
+#include "obs/obs.h"
 #include "powergrid/grid_model.h"
 #include "powergrid/irdrop.h"
 #include "powergrid/transient.h"
@@ -70,5 +71,10 @@ int main() {
             << fmt(wake.decapNeeded * 1e9, 0) << " nF\n"
             << "  (the paper's warning: sleep modes make this transient the"
                " power-delivery stress case)\n";
+
+  if (obs::enabled()) {
+    std::cout << '\n';
+    obs::printRunReport(std::cout);
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
 
@@ -134,6 +135,7 @@ double Mosfet::linearConductance(double vgs) const {
 
 double solveVthForIon(const tech::TechNode& node, double ionTarget,
                       GateStack stack, double vddOverride, double temperature) {
+  NANO_OBS_SPAN("device/solve_vth");
   const double vdd = vddOverride > 0 ? vddOverride : node.vdd;
   auto ionAtVth = [&](double vth) {
     MosfetParams p;
@@ -149,7 +151,11 @@ double solveVthForIon(const tech::TechNode& node, double ionTarget,
     return Mosfet(p).ionSelfConsistent(vdd) - ionTarget;
   };
   // Ion decreases monotonically with Vth; search a generous bracket.
-  return util::bracketAndSolve(ionAtVth, -0.2, vdd, 40, 1e-9).x;
+  const util::SolveResult r = util::bracketAndSolve(ionAtVth, -0.2, vdd, 40, 1e-9);
+  NANO_OBS_COUNT("device/vth_solves", 1);
+  NANO_OBS_COUNT("device/vth_solve_iterations", r.iterations);
+  if (!r.converged) NANO_OBS_COUNT("device/vth_solve_nonconverged", 1);
+  return r.x;
 }
 
 }  // namespace nano::device

@@ -1,0 +1,198 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/table.h"
+
+namespace nano::obs {
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (see util::CsvWriter).
+std::string fmtRoundTrip(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void writeTimerObject(std::ostream& os, const TimerStat::Snapshot& s) {
+  os << "{\"count\":" << s.count << ",\"total_s\":" << fmtRoundTrip(s.total)
+     << ",\"min_s\":" << fmtRoundTrip(s.min)
+     << ",\"max_s\":" << fmtRoundTrip(s.max)
+     << ",\"mean_s\":" << fmtRoundTrip(s.mean)
+     << ",\"p50_s\":" << fmtRoundTrip(s.p50)
+     << ",\"p99_s\":" << fmtRoundTrip(s.p99) << "}";
+}
+
+void writeTimerMap(std::ostream& os,
+                   const std::vector<MetricsRegistry::TimerRow>& rows) {
+  os << "{";
+  bool first = true;
+  for (const auto& row : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(row.name) << "\":";
+    writeTimerObject(os, row.stat);
+  }
+  os << "}";
+}
+
+/// Seconds with an SI prefix ("3.2 ms"); "-" for an empty stat.
+std::string fmtSeconds(double s, std::int64_t count) {
+  if (count == 0) return "-";
+  return util::fmtEng(s, "s", 3);
+}
+
+}  // namespace
+
+void exportJson(std::ostream& os) {
+  exportJson(os, MetricsRegistry::instance());
+}
+
+void exportJson(std::ostream& os, const MetricsRegistry& registry) {
+  os << "{\"enabled\":" << (enabled() ? "true" : "false");
+  os << ",\"spans\":";
+  writeTimerMap(os, registry.spans());
+  os << ",\"timers\":";
+  writeTimerMap(os, registry.timers());
+  os << ",\"counters\":{";
+  bool first = true;
+  for (const auto& row : registry.counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(row.name) << "\":" << row.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& row : registry.gauges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << jsonEscape(row.name) << "\":" << fmtRoundTrip(row.value);
+  }
+  os << "}}\n";
+}
+
+void exportCsv(std::ostream& os) { exportCsv(os, MetricsRegistry::instance()); }
+
+void exportCsv(std::ostream& os, const MetricsRegistry& registry) {
+  os << "kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p99_s,value\n";
+  auto timerRow = [&os](const char* kind,
+                        const MetricsRegistry::TimerRow& row) {
+    const auto& s = row.stat;
+    os << kind << ',' << row.name << ',' << s.count << ','
+       << fmtRoundTrip(s.total) << ',' << fmtRoundTrip(s.min) << ','
+       << fmtRoundTrip(s.max) << ',' << fmtRoundTrip(s.mean) << ','
+       << fmtRoundTrip(s.p50) << ',' << fmtRoundTrip(s.p99) << ",\n";
+  };
+  for (const auto& row : registry.spans()) timerRow("span", row);
+  for (const auto& row : registry.timers()) timerRow("timer", row);
+  for (const auto& row : registry.counters()) {
+    os << "counter," << row.name << ",,,,,,,," << row.value << '\n';
+  }
+  for (const auto& row : registry.gauges()) {
+    os << "gauge," << row.name << ",,,,,,,," << fmtRoundTrip(row.value)
+       << '\n';
+  }
+}
+
+void printRunReport(std::ostream& os) {
+  printRunReport(os, MetricsRegistry::instance());
+}
+
+void printRunReport(std::ostream& os, const MetricsRegistry& registry) {
+  const auto spans = registry.spans();
+  const auto timers = registry.timers();
+  const auto counters = registry.counters();
+  const auto gauges = registry.gauges();
+
+  os << "== nanodesign run report ==\n";
+  if (spans.empty() && timers.empty() && counters.empty() && gauges.empty()) {
+    os << "(no metrics recorded";
+    if (!enabled()) os << "; enable with obs::setEnabled(true) or NANO_OBS=1";
+    os << ")\n";
+    return;
+  }
+
+  if (!spans.empty()) {
+    os << "\nPhase breakdown (wall clock, nested):\n";
+    util::TextTable t({"phase", "calls", "total", "mean", "p50", "p99"});
+    // Depth-first tree order: compare paths component-wise so a child
+    // always follows its parent even when a sibling shares the prefix.
+    std::vector<std::pair<std::vector<std::string>,
+                          const MetricsRegistry::TimerRow*>> ordered;
+    ordered.reserve(spans.size());
+    for (const auto& row : spans) ordered.emplace_back(splitSpanPath(row.name), &row);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [parts, rowPtr] : ordered) {
+      const auto& row = *rowPtr;
+      std::string label(2 * (parts.size() - 1), ' ');
+      label += parts.back();
+      const auto& s = row.stat;
+      t.addRow({label, std::to_string(s.count), fmtSeconds(s.total, s.count),
+                fmtSeconds(s.mean, s.count), fmtSeconds(s.p50, s.count),
+                fmtSeconds(s.p99, s.count)});
+    }
+    t.print(os);
+  }
+
+  if (!timers.empty()) {
+    os << "\nTimers:\n";
+    util::TextTable t({"timer", "calls", "total", "mean", "min", "max"});
+    for (const auto& row : timers) {
+      const auto& s = row.stat;
+      t.addRow({row.name, std::to_string(s.count), fmtSeconds(s.total, s.count),
+                fmtSeconds(s.mean, s.count), fmtSeconds(s.min, s.count),
+                fmtSeconds(s.max, s.count)});
+    }
+    t.print(os);
+  }
+
+  if (!counters.empty()) {
+    os << "\nCounters:\n";
+    util::TextTable t({"counter", "value"});
+    for (const auto& row : counters) {
+      t.addRow({row.name, std::to_string(row.value)});
+    }
+    t.print(os);
+  }
+
+  if (!gauges.empty()) {
+    os << "\nGauges:\n";
+    util::TextTable t({"gauge", "value"});
+    for (const auto& row : gauges) {
+      t.addRow({row.name, util::fmtSci(row.value, 6)});
+    }
+    t.print(os);
+  }
+}
+
+}  // namespace nano::obs

@@ -1,0 +1,30 @@
+// Exporters for the MetricsRegistry: machine-readable JSON and CSV dumps
+// plus a human-readable run report (ASCII tables in the style of
+// core/report.h) with the hierarchical span breakdown, counters, gauges,
+// and timer statistics of everything instrumented during the run.
+#pragma once
+
+#include <ostream>
+
+namespace nano::obs {
+
+class MetricsRegistry;
+
+/// One JSON object: {"enabled":…, "spans":{…}, "timers":{…},
+/// "counters":{…}, "gauges":{…}}. Doubles are emitted with round-trip
+/// (%.17g) precision so a reader recovers the exact values.
+void exportJson(std::ostream& os);
+void exportJson(std::ostream& os, const MetricsRegistry& registry);
+
+/// Flat CSV: kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p99_s,value.
+/// Counter/gauge rows fill `value` and leave the timing columns empty.
+void exportCsv(std::ostream& os);
+void exportCsv(std::ostream& os, const MetricsRegistry& registry);
+
+/// Human-readable run report: span tree (indented by nesting), timers,
+/// counters, gauges. Prints a hint instead when observability is disabled
+/// and nothing was recorded.
+void printRunReport(std::ostream& os);
+void printRunReport(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace nano::obs

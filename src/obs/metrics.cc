@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace nano::obs {
+
+namespace {
+
+bool envEnabled() {
+  const char* v = std::getenv("NANO_OBS");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+std::atomic<bool>& enabledFlag() {
+  static std::atomic<bool> flag{envEnabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabledFlag().load(std::memory_order_relaxed); }
+
+void setEnabled(bool on) { enabledFlag().store(on, std::memory_order_relaxed); }
+
+void TimerStat::record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  total_ += seconds;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(seconds);
+  } else {
+    // Deterministic pseudo-random eviction keeps the reservoir a fair-ish
+    // sample of the whole stream without unbounded memory.
+    replaceState_ = replaceState_ * 6364136223846793005ull + 1442695040888963407ull;
+    samples_[(replaceState_ >> 33) % kMaxSamples] = seconds;
+  }
+}
+
+TimerStat::Snapshot TimerStat::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  s.total = total_;
+  s.min = min_;
+  s.max = max_;
+  if (count_ > 0) s.mean = total_ / static_cast<double>(count_);
+  if (!samples_.empty()) {
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto at = [&sorted](double p) {
+      const double pos = p * static_cast<double>(sorted.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(pos);
+      const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = pos - static_cast<double>(lo);
+      return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    };
+    s.p50 = at(0.50);
+    s.p99 = at(0.99);
+  }
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+TimerStat& MetricsRegistry::timer(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+TimerStat& MetricsRegistry::spanTimer(std::string_view path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = spans_.find(path);
+  if (it == spans_.end()) {
+    it = spans_.try_emplace(std::string(path)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+  spans_.clear();
+}
+
+std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRow> rows;
+  rows.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) rows.push_back({name, c.value()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::GaugeRow> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeRow> rows;
+  rows.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) rows.push_back({name, g.value()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::TimerRow> MetricsRegistry::timers() const {
+  // Lock order is registry -> stat; record() only ever takes the stat
+  // mutex, so snapshotting under the registry lock cannot deadlock.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimerRow> rows;
+  rows.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) rows.push_back({name, t.snapshot()});
+  return rows;
+}
+
+std::vector<MetricsRegistry::TimerRow> MetricsRegistry::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TimerRow> rows;
+  rows.reserve(spans_.size());
+  for (const auto& [name, t] : spans_) rows.push_back({name, t.snapshot()});
+  return rows;
+}
+
+}  // namespace nano::obs

@@ -1,0 +1,160 @@
+// Instrumentation substrate: a process-wide MetricsRegistry of named
+// counters, gauges, and timing accumulators, plus RAII scoped timers.
+// Everything is thread-safe and near-zero-cost while observability is
+// disabled (one relaxed atomic load per macro site). Enable with
+// obs::setEnabled(true) or by exporting NANO_OBS=1 before launch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nano::obs {
+
+/// Global on/off switch. Initialized once from the NANO_OBS environment
+/// variable ("1", "true", "on" enable); flips at runtime via setEnabled.
+bool enabled();
+void setEnabled(bool on);
+
+/// Monotonically increasing integer metric (events, iterations, ...).
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written double metric (residual at exit, fraction converted, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram-style accumulator of durations (or any double samples):
+/// count/total/min/max exactly, p50/p99 from a bounded reservoir.
+class TimerStat {
+ public:
+  void record(double seconds);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kMaxSamples = 4096;
+
+  mutable std::mutex mutex_;
+  std::int64_t count_ = 0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;   // bounded reservoir for percentiles
+  std::uint64_t replaceState_ = 0x9e3779b97f4a7c15ull;  // LCG for eviction
+};
+
+/// RAII monotonic-clock timer; records into `stat` on destruction.
+/// A null stat (observability disabled) makes every member a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* stat)
+      : stat_(stat),
+        start_(stat ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (stat_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stat_->record(std::chrono::duration<double>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide registry. Metric objects live for the process lifetime, so
+/// hot paths may cache the returned references across calls.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimerStat& timer(std::string_view name);
+  /// Timer keyed by a hierarchical span path (see obs/span.h). Kept in a
+  /// separate namespace so exporters can render the phase tree.
+  TimerStat& spanTimer(std::string_view path);
+
+  /// Zero every metric and forget every name (tests, between runs).
+  void reset();
+
+  struct CounterRow { std::string name; std::int64_t value; };
+  struct GaugeRow { std::string name; double value; };
+  struct TimerRow { std::string name; TimerStat::Snapshot stat; };
+
+  [[nodiscard]] std::vector<CounterRow> counters() const;
+  [[nodiscard]] std::vector<GaugeRow> gauges() const;
+  [[nodiscard]] std::vector<TimerRow> timers() const;
+  [[nodiscard]] std::vector<TimerRow> spans() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // std::map: pointer stability on insert and sorted export for free.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, TimerStat, std::less<>> spans_;
+};
+
+}  // namespace nano::obs
+
+// Convenience macros: each site pays one relaxed atomic load when
+// observability is disabled, and a registry lookup + atomic op when on.
+#define NANO_OBS_COUNT(name, n)                                   \
+  do {                                                            \
+    if (::nano::obs::enabled()) {                                 \
+      ::nano::obs::MetricsRegistry::instance().counter(name).add(n); \
+    }                                                             \
+  } while (0)
+
+#define NANO_OBS_GAUGE(name, v)                                   \
+  do {                                                            \
+    if (::nano::obs::enabled()) {                                 \
+      ::nano::obs::MetricsRegistry::instance().gauge(name).set(v);   \
+    }                                                             \
+  } while (0)
+
+#define NANO_OBS_CONCAT_INNER(a, b) a##b
+#define NANO_OBS_CONCAT(a, b) NANO_OBS_CONCAT_INNER(a, b)
+
+/// Scoped wall-clock timer recording into MetricsRegistry timer `name`.
+#define NANO_OBS_TIMER(name)                                        \
+  ::nano::obs::ScopedTimer NANO_OBS_CONCAT(_nanoObsTimer, __LINE__)( \
+      ::nano::obs::enabled()                                        \
+          ? &::nano::obs::MetricsRegistry::instance().timer(name)   \
+          : nullptr)

@@ -1,0 +1,13 @@
+// Umbrella header for the observability layer: metrics registry +
+// counters/gauges/timers (obs/metrics.h), hierarchical spans
+// (obs/span.h), and JSON/CSV/report exporters (obs/export.h).
+//
+//   NANO_OBS_SPAN("sta/analyze");            // scoped phase timer
+//   NANO_OBS_COUNT("powergrid/cg_iterations", it);
+//   NANO_OBS_GAUGE("powergrid/cg_residual", r);
+//   nano::obs::printRunReport(std::cout);    // where did the time go?
+#pragma once
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"

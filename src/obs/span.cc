@@ -1,0 +1,61 @@
+#include "obs/span.h"
+
+namespace nano::obs {
+
+namespace {
+
+std::vector<std::string>& spanStack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+}  // namespace
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  active_ = true;
+  auto& stack = spanStack();
+  if (stack.empty()) {
+    path_.assign(name);
+  } else {
+    path_.reserve(stack.back().size() + 1 + name.size());
+    path_ = stack.back();
+    path_ += kSpanPathSeparator;
+    path_ += name;
+  }
+  stack.push_back(path_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  MetricsRegistry::instance().spanTimer(path_).record(
+      std::chrono::duration<double>(elapsed).count());
+  auto& stack = spanStack();
+  // Pop our own frame. Disabling obs mid-span can leave the stack shallow;
+  // guard instead of assuming strict pairing.
+  if (!stack.empty() && stack.back() == path_) stack.pop_back();
+}
+
+std::string Span::currentPath() {
+  const auto& stack = spanStack();
+  return stack.empty() ? std::string() : stack.back();
+}
+
+std::vector<std::string> splitSpanPath(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t pos = path.find(kSpanPathSeparator, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(path.substr(start));
+      break;
+    }
+    parts.emplace_back(path.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+}  // namespace nano::obs

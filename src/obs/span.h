@@ -1,0 +1,48 @@
+// Lightweight span/trace API: NANO_OBS_SPAN("sta/analyze") opens an RAII
+// span whose wall-clock duration is accumulated under its hierarchical
+// path in the MetricsRegistry. Nesting is tracked per thread, so a span
+// opened inside another span records under "parent;child" and the run
+// report can render a phase breakdown tree.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nano::obs {
+
+/// Separator between nesting levels in a span path. Distinct from '/',
+/// which spans use freely inside a single level ("sta/analyze").
+inline constexpr char kSpanPathSeparator = ';';
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Full hierarchical path of this span; empty when obs is disabled.
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Path of the innermost open span on this thread ("" at top level).
+  static std::string currentPath();
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Split a span path into its nesting components.
+std::vector<std::string> splitSpanPath(std::string_view path);
+
+}  // namespace nano::obs
+
+/// Opens a scoped span named `name` (evaluated once). The span is a no-op
+/// while observability is disabled.
+#define NANO_OBS_SPAN(name) \
+  ::nano::obs::Span NANO_OBS_CONCAT(_nanoObsSpan, __LINE__)(name)

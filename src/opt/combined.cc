@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace nano::opt {
 
 using circuit::Netlist;
@@ -38,6 +40,7 @@ double countFraction(const Netlist& nl, VthClass vth) {
 
 FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
                    const FlowOptions& options, double freq) {
+  NANO_OBS_SPAN("opt/flow");
   FlowResult res;
   res.timingBefore = sta::analyze(netlist, options.clockPeriod);
   const double clock = res.timingBefore.clockPeriod;
@@ -87,6 +90,7 @@ FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
     sr.fractionLowVdd = countFraction(current, VddDomain::Low);
     sr.fractionHighVth = countFraction(current, VthClass::High);
     res.stages.push_back(std::move(sr));
+    NANO_OBS_COUNT("opt/flow_stages", 1);
   }
   res.netlist = std::move(current);
   return res;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "opt/level_converter.h"
 
 namespace nano::opt {
@@ -13,6 +14,7 @@ using circuit::VddDomain;
 
 CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
                  const CvsOptions& options, double freq) {
+  NANO_OBS_SPAN("opt/cvs");
   CvsResult res;
   res.timingBefore = sta::analyze(netlist, options.clockPeriod);
   const double clock = res.timingBefore.clockPeriod;
@@ -76,6 +78,7 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
         break;
       }
     }
+    NANO_OBS_COUNT("opt/cvs_trials", 1);
     if (ok) {
       timing = sta::analyze(work, clock);
       ++lowCount;
@@ -83,6 +86,7 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
       work.replaceCell(g, saved);
     }
   }
+  NANO_OBS_COUNT("opt/cvs_accepted", lowCount);
 
   res.fractionLowVdd =
       static_cast<double>(lowCount) / static_cast<double>(netlist.gateCount());
@@ -90,6 +94,7 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
   ConversionReport conv = insertLevelConverters(work, library, true);
   res.netlist = std::move(conv.netlist);
   res.convertersAdded = conv.convertersAdded;
+  NANO_OBS_COUNT("opt/cvs_converters_added", conv.convertersAdded);
   res.powerAfter = power::computePower(res.netlist, freq, options.piActivity);
   res.timingAfter = sta::analyze(res.netlist, clock + lcDelay);
   return res;

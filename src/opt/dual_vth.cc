@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace nano::opt {
 
 using circuit::Netlist;
@@ -11,6 +13,7 @@ using circuit::VthClass;
 DualVthResult runDualVth(const Netlist& netlist,
                          const circuit::Library& library,
                          const DualVthOptions& options, double freq) {
+  NANO_OBS_SPAN("opt/dual_vth");
   DualVthResult res;
   res.timingBefore = sta::analyze(netlist, options.clockPeriod);
   const double clock = res.timingBefore.clockPeriod;
@@ -46,7 +49,9 @@ DualVthResult runDualVth(const Netlist& netlist,
               return a.benefit > b.benefit;
             });
 
+  NANO_OBS_COUNT("opt/dualvth_candidates", static_cast<std::int64_t>(candidates.size()));
   int highCount = 0;
+  int trials = 0;
   for (const Candidate& c : candidates) {
     if (timing.slack[static_cast<std::size_t>(c.id)] < c.delta + margin) {
       continue;  // cannot possibly fit
@@ -55,6 +60,7 @@ DualVthResult runDualVth(const Netlist& netlist,
     const circuit::Cell saved = node.cell;
     work.replaceCell(
         c.id, library.recorner(node.cell, VthClass::High, node.cell.vddDomain));
+    ++trials;
     sta::TimingResult trial = sta::analyze(work, clock);
     if (trial.worstSlack >= -1e-15 + 0.0 && trial.meetsTiming()) {
       timing = std::move(trial);
@@ -63,6 +69,8 @@ DualVthResult runDualVth(const Netlist& netlist,
       work.replaceCell(c.id, saved);
     }
   }
+  NANO_OBS_COUNT("opt/dualvth_trials", trials);
+  NANO_OBS_COUNT("opt/dualvth_accepted", highCount);
 
   res.fractionHighVth =
       static_cast<double>(highCount) / static_cast<double>(netlist.gateCount());

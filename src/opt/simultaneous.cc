@@ -5,6 +5,8 @@
 #include <set>
 #include <tuple>
 
+#include "obs/obs.h"
+
 namespace nano::opt {
 
 using circuit::Cell;
@@ -28,6 +30,7 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
                                    const circuit::Library& library,
                                    const SimultaneousOptions& options,
                                    double freq) {
+  NANO_OBS_SPAN("opt/simultaneous");
   SimultaneousResult res;
   res.timingBefore = sta::analyze(netlist, options.clockPeriod);
   const double clock = res.timingBefore.clockPeriod;
@@ -117,8 +120,10 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
       work.replaceCell(best.gate, saved);
       rejected.insert(key(best.gate, best.isVth, best.cell.drive));
       rejected.insert(key(best.gate, best.isVth, saved.drive));
+      NANO_OBS_COUNT("opt/simultaneous_rejected", 1);
     }
   }
+  NANO_OBS_COUNT("opt/simultaneous_accepted", res.vthMoves + res.sizeMoves);
 
   res.powerAfter = power::computePower(work, freq, options.piActivity);
   res.timingAfter = sta::analyze(work, clock);

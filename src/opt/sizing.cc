@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace nano::opt {
 
 using circuit::Cell;
@@ -42,6 +44,7 @@ Cell resized(const circuit::Library& library, const Cell& cell, double drive) {
 SizingResult downsizeForPower(const Netlist& netlist,
                               const circuit::Library& library,
                               const SizingOptions& options, double freq) {
+  NANO_OBS_SPAN("opt/downsize");
   SizingResult res;
   res.timingBefore = sta::analyze(netlist, options.clockPeriod);
   const double clock = res.timingBefore.clockPeriod;
@@ -107,6 +110,7 @@ SizingResult downsizeForPower(const Netlist& netlist,
 SizingResult upsizeForTiming(const Netlist& netlist,
                              const circuit::Library& library,
                              double clockPeriod, double freq, double maxDrive) {
+  NANO_OBS_SPAN("opt/upsize");
   SizingResult res;
   res.timingBefore = sta::analyze(netlist, clockPeriod);
   if (freq <= 0) freq = 1.0 / clockPeriod;

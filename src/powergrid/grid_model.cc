@@ -4,9 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace nano::powergrid {
 
 GridSolution solveGrid(const GridConfig& cfg) {
+  NANO_OBS_SPAN("powergrid/grid_solve");
   if (cfg.railPitch <= 0 || cfg.bumpPitch < cfg.railPitch ||
       cfg.railWidth <= 0 || cfg.tilesX < 1 || cfg.tilesY < 1 ||
       cfg.subdivisions < 2) {
@@ -100,6 +103,8 @@ GridSolution solveGrid(const GridConfig& cfg) {
   sol.nx = nx;
   sol.ny = ny;
   sol.cgIterations = cg.iterations;
+  sol.cgResidualNorm = cg.residualNorm;
+  sol.cgConverged = cg.converged;
   sol.unknowns = nUnknown;
   sol.dropV.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

@@ -36,6 +36,8 @@ struct GridSolution {
   double maxDrop = 0.0;         ///< V
   double maxDropFraction = 0.0; ///< of supplyVoltage
   int cgIterations = 0;
+  double cgResidualNorm = 0.0;  ///< 2-norm of the CG residual at exit
+  bool cgConverged = false;
   std::size_t unknowns = 0;
 };
 

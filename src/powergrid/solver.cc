@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace nano::powergrid {
 
 SparseSpd::SparseSpd(std::size_t n) : n_(n) {
@@ -110,6 +112,7 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
   if (!a.finalized()) throw std::logic_error("solveCg: matrix not finalized");
   const std::size_t n = a.size();
   if (b.size() != n) throw std::invalid_argument("solveCg: size mismatch");
+  NANO_OBS_SPAN("powergrid/cg_solve");
 
   CgResult res;
   res.x.assign(n, 0.0);
@@ -122,35 +125,43 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
     return s;
   };
   const double bNorm = std::sqrt(dot(b, b));
-  if (bNorm == 0.0) {
-    res.converged = true;
-    return res;
-  }
 
-  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
-  p = z;
-  double rz = dot(r, z);
+  // Every exit path below reports the same bookkeeping: iterations
+  // consumed, the residual norm at exit, and the convergence flag.
+  res.residualNorm = bNorm;
+  res.converged = bNorm == 0.0;  // x = 0 is exact for b = 0
 
-  for (int it = 0; it < maxIterations; ++it) {
-    a.multiply(p, ap);
-    const double alpha = rz / dot(p, ap);
-    for (std::size_t i = 0; i < n; ++i) {
-      res.x[i] += alpha * p[i];
-      r[i] -= alpha * ap[i];
-    }
-    res.iterations = it + 1;
-    const double rNorm = std::sqrt(dot(r, r));
-    res.residualNorm = rNorm;
-    if (rNorm <= relTolerance * bNorm) {
-      res.converged = true;
-      return res;
-    }
+  if (!res.converged) {
     for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
-    const double rzNew = dot(r, z);
-    const double beta = rzNew / rz;
-    rz = rzNew;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    p = z;
+    double rz = dot(r, z);
+    const double threshold = relTolerance * bNorm;
+
+    for (int it = 0; it < maxIterations; ++it) {
+      a.multiply(p, ap);
+      const double alpha = rz / dot(p, ap);
+      for (std::size_t i = 0; i < n; ++i) {
+        res.x[i] += alpha * p[i];
+        r[i] -= alpha * ap[i];
+      }
+      res.iterations = it + 1;
+      res.residualNorm = std::sqrt(dot(r, r));
+      if (res.residualNorm <= threshold) {
+        res.converged = true;
+        break;
+      }
+      for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
+      const double rzNew = dot(r, z);
+      const double beta = rzNew / rz;
+      rz = rzNew;
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
   }
+
+  NANO_OBS_COUNT("powergrid/cg_solves", 1);
+  NANO_OBS_COUNT("powergrid/cg_iterations", res.iterations);
+  NANO_OBS_GAUGE("powergrid/cg_residual", res.residualNorm);
+  if (!res.converged) NANO_OBS_COUNT("powergrid/cg_nonconverged", 1);
   return res;
 }
 

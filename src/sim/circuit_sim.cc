@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace nano::sim {
 
 void Circuit::reserveNode(int id) {
@@ -125,6 +127,8 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
 
   const bool transientMode = dt > 0;
 
+  int newtonIterations = 0;
+  bool newtonConverged = false;
   for (int iter = 0; iter < options_.maxNewton; ++iter) {
     sys.clear();
     // gmin to ground for numerical robustness.
@@ -221,8 +225,15 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
     for (std::size_t k = 0; k < nV + nL; ++k) {
       state.branch[k] = x[(nNodes - 1) + k];
     }
-    if (worst < options_.vTolerance) break;
+    newtonIterations = iter + 1;
+    if (worst < options_.vTolerance) {
+      newtonConverged = true;
+      break;
+    }
   }
+  NANO_OBS_COUNT("sim/newton_iterations", newtonIterations);
+  NANO_OBS_COUNT("sim/newton_solves", 1);
+  if (!newtonConverged) NANO_OBS_COUNT("sim/newton_nonconverged", 1);
 
   state.capCurrent.assign(caps_.size(), 0.0);
   if (transientMode) {
@@ -240,6 +251,7 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
 }
 
 std::vector<double> Simulator::dcOperatingPoint(double t) {
+  NANO_OBS_SPAN("sim/dc_operating_point");
   SolveState zero;
   zero.v.assign(static_cast<std::size_t>(circuit_->nodeCount()), 0.0);
   zero.branch.assign(circuit_->vsources().size() + circuit_->inductors().size(),
@@ -249,6 +261,7 @@ std::vector<double> Simulator::dcOperatingPoint(double t) {
 }
 
 TransientResult Simulator::transient(double tStop, double dt) {
+  NANO_OBS_SPAN("sim/transient");
   if (tStop <= 0 || dt <= 0) throw std::invalid_argument("transient: bad times");
   TransientResult res;
   SolveState zero;
@@ -268,6 +281,7 @@ TransientResult Simulator::transient(double tStop, double dt) {
     res.voltages.push_back(state.v);
     res.branchCurrents.push_back(state.branch);
   }
+  NANO_OBS_COUNT("sim/timesteps", static_cast<std::int64_t>(res.time.size()) - 1);
   return res;
 }
 

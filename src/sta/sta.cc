@@ -4,12 +4,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace nano::sta {
 
 using circuit::Netlist;
 
 TimingResult analyze(const Netlist& netlist, double clockPeriod) {
+  NANO_OBS_SPAN("sta/analyze");
   const int n = netlist.nodeCount();
+  NANO_OBS_COUNT("sta/analyze_calls", 1);
+  NANO_OBS_COUNT("sta/nodes_timed", n);
   TimingResult r;
   r.arrival.assign(static_cast<std::size_t>(n), 0.0);
   r.required.assign(static_cast<std::size_t>(n),

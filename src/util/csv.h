@@ -2,6 +2,7 @@
 // plotting in addition to the ASCII tables they print.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <initializer_list>
 #include <stdexcept>
@@ -9,6 +10,16 @@
 #include <vector>
 
 namespace nano::util {
+
+/// Round-trip-safe compact decimal form of a double. %.9g keeps 9
+/// significant digits at any magnitude, so nA/uA-scale values (Ioff,
+/// per-gate leakage) survive the trip through a CSV — unlike
+/// std::to_string's fixed 6 decimals, which truncates them to 0.
+inline std::string formatCsvDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
 
 /// Streams rows of doubles/strings to a CSV file. The header row fixes the
 /// column count; mismatched rows throw.
@@ -24,7 +35,7 @@ class CsvWriter {
     if (values.size() != columns_) throw std::invalid_argument("CsvWriter: row width");
     std::vector<std::string> cells;
     cells.reserve(values.size());
-    for (double v : values) cells.push_back(std::to_string(v));
+    for (double v : values) cells.push_back(formatCsvDouble(v));
     writeCells(cells);
   }
 

@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nano::obs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wasEnabled_ = enabled();
+    setEnabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    setEnabled(wasEnabled_);
+  }
+  bool wasEnabled_ = false;
+};
+
+TEST_F(RegistryTest, CounterAccumulates) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("x").add();
+  reg.counter("x").add(41);
+  EXPECT_EQ(reg.counter("x").value(), 42);
+  EXPECT_EQ(reg.counter("y").value(), 0);  // lookup creates at zero
+}
+
+TEST_F(RegistryTest, CounterReferenceIsStableAcrossInserts) {
+  auto& reg = MetricsRegistry::instance();
+  Counter& a = reg.counter("a");
+  for (int i = 0; i < 100; ++i) reg.counter("other" + std::to_string(i));
+  a.add(7);
+  EXPECT_EQ(reg.counter("a").value(), 7);
+}
+
+TEST_F(RegistryTest, GaugeKeepsLastValue) {
+  auto& reg = MetricsRegistry::instance();
+  reg.gauge("residual").set(1e-3);
+  reg.gauge("residual").set(1e-9);
+  EXPECT_DOUBLE_EQ(reg.gauge("residual").value(), 1e-9);
+}
+
+TEST_F(RegistryTest, TimerStatistics) {
+  TimerStat t;
+  for (int i = 1; i <= 100; ++i) t.record(static_cast<double>(i));
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.total, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.5);
+}
+
+TEST_F(RegistryTest, TimerEmptySnapshotIsZero) {
+  TimerStat t;
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST_F(RegistryTest, TimerReservoirBoundsMemoryButKeepsExactAggregates) {
+  TimerStat t;
+  const int n = 20000;  // well past the 4096-sample reservoir
+  for (int i = 0; i < n; ++i) t.record(1.0);
+  const auto s = t.snapshot();
+  EXPECT_EQ(s.count, n);
+  EXPECT_DOUBLE_EQ(s.total, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+}
+
+TEST_F(RegistryTest, ScopedTimerRecordsOnce) {
+  auto& reg = MetricsRegistry::instance();
+  { ScopedTimer timer(&reg.timer("scope")); }
+  const auto s = reg.timer("scope").snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_GE(s.total, 0.0);
+}
+
+TEST_F(RegistryTest, NullScopedTimerIsNoop) {
+  ScopedTimer timer(nullptr);  // must not crash or record anything
+  EXPECT_TRUE(MetricsRegistry::instance().timers().empty());
+}
+
+TEST_F(RegistryTest, MacrosNoopWhenDisabled) {
+  setEnabled(false);
+  NANO_OBS_COUNT("disabled/counter", 5);
+  NANO_OBS_GAUGE("disabled/gauge", 1.0);
+  { NANO_OBS_TIMER("disabled/timer"); }
+  auto& reg = MetricsRegistry::instance();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.timers().empty());
+}
+
+TEST_F(RegistryTest, MacrosRecordWhenEnabled) {
+  NANO_OBS_COUNT("on/counter", 5);
+  NANO_OBS_GAUGE("on/gauge", 2.5);
+  { NANO_OBS_TIMER("on/timer"); }
+  auto& reg = MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("on/counter").value(), 5);
+  EXPECT_DOUBLE_EQ(reg.gauge("on/gauge").value(), 2.5);
+  EXPECT_EQ(reg.timer("on/timer").snapshot().count, 1);
+}
+
+TEST_F(RegistryTest, ResetClearsEverything) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("a").add(1);
+  reg.gauge("b").set(1.0);
+  reg.timer("c").record(1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.timers().empty());
+  EXPECT_TRUE(reg.spans().empty());
+}
+
+TEST_F(RegistryTest, ExportRowsAreSortedByName) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("zebra").add(1);
+  reg.counter("alpha").add(2);
+  const auto rows = reg.counters();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[1].name, "zebra");
+}
+
+TEST_F(RegistryTest, ConcurrentCountersAreExact) {
+  auto& reg = MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter("concurrent").add();
+        reg.timer("concurrent_t").record(1e-9);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("concurrent").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.timer("concurrent_t").snapshot().count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace nano::obs

@@ -1,0 +1,104 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+namespace nano::obs {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wasEnabled_ = enabled();
+    setEnabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    setEnabled(wasEnabled_);
+  }
+  bool wasEnabled_ = false;
+};
+
+TEST_F(SpanTest, TopLevelSpanRecordsUnderItsName) {
+  { NANO_OBS_SPAN("sta/analyze"); }
+  const auto spans = MetricsRegistry::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "sta/analyze");
+  EXPECT_EQ(spans[0].stat.count, 1);
+  EXPECT_GE(spans[0].stat.total, 0.0);
+}
+
+TEST_F(SpanTest, NestedSpansBuildHierarchicalPaths) {
+  {
+    NANO_OBS_SPAN("outer");
+    EXPECT_EQ(Span::currentPath(), "outer");
+    {
+      NANO_OBS_SPAN("opt/dual_vth");
+      EXPECT_EQ(Span::currentPath(), "outer;opt/dual_vth");
+      { NANO_OBS_SPAN("sta/analyze"); }
+    }
+    EXPECT_EQ(Span::currentPath(), "outer");
+  }
+  EXPECT_EQ(Span::currentPath(), "");
+
+  const auto spans = MetricsRegistry::instance().spans();
+  ASSERT_EQ(spans.size(), 3u);  // sorted by path
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "outer;opt/dual_vth");
+  EXPECT_EQ(spans[2].name, "outer;opt/dual_vth;sta/analyze");
+}
+
+TEST_F(SpanTest, RepeatedSpansAccumulateUnderOnePath) {
+  for (int i = 0; i < 5; ++i) {
+    NANO_OBS_SPAN("loop");
+  }
+  const auto spans = MetricsRegistry::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].stat.count, 5);
+}
+
+TEST_F(SpanTest, SiblingSpansGetSeparatePaths) {
+  {
+    NANO_OBS_SPAN("parent");
+    { NANO_OBS_SPAN("first"); }
+    { NANO_OBS_SPAN("second"); }
+  }
+  const auto spans = MetricsRegistry::instance().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "parent;first");
+  EXPECT_EQ(spans[2].name, "parent;second");
+}
+
+TEST_F(SpanTest, DisabledSpanIsInert) {
+  setEnabled(false);
+  {
+    NANO_OBS_SPAN("ghost");
+    EXPECT_EQ(Span::currentPath(), "");
+  }
+  EXPECT_TRUE(MetricsRegistry::instance().spans().empty());
+}
+
+TEST_F(SpanTest, DisableMidSpanDoesNotCorruptTheStack) {
+  {
+    NANO_OBS_SPAN("outer");
+    setEnabled(false);
+    { NANO_OBS_SPAN("inert-child"); }
+    setEnabled(true);
+  }
+  EXPECT_EQ(Span::currentPath(), "");
+  const auto spans = MetricsRegistry::instance().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+}
+
+TEST_F(SpanTest, SplitSpanPath) {
+  const auto parts = splitSpanPath("a;b/c;d");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b/c");
+  EXPECT_EQ(parts[2], "d");
+  EXPECT_EQ(splitSpanPath("solo").size(), 1u);
+}
+
+}  // namespace
+}  // namespace nano::obs

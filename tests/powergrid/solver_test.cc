@@ -95,6 +95,35 @@ TEST(SolveCg, LargeLaplacianChain) {
   EXPECT_NEAR(r.x[n - 1], static_cast<double>(n), 1e-4);
 }
 
+TEST(SolveCg, ZeroRhsBookkeepingIsUniform) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(1, 1.0);
+  a.finalize();
+  const CgResult r = solveCg(a, {0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_DOUBLE_EQ(r.residualNorm, 0.0);
+}
+
+TEST(SolveCg, IterationCapReportsResidualAndFlag) {
+  // The 200-node chain needs ~n iterations; cap at 3 and check the
+  // truncated solve reports the same bookkeeping as a converged one.
+  const std::size_t n = 200;
+  SparseSpd a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.addDiagonal(i, i + 1 < n ? 2.0 : 1.0);
+    if (i + 1 < n) a.addOffDiagonal(i, i + 1, -1.0);
+  }
+  a.finalize();
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  const CgResult r = solveCg(a, b, 1e-11, 3);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+  EXPECT_GT(r.residualNorm, 0.0);
+}
+
 TEST(SolveCg, SizeMismatchThrows) {
   SparseSpd a(2);
   a.addDiagonal(0, 1.0);

@@ -52,6 +52,32 @@ TEST_F(CsvTest, UnwritablePathThrows) {
                std::runtime_error);
 }
 
+TEST_F(CsvTest, SmallMagnitudesSurviveFormatting) {
+  // Regression: std::to_string's fixed 6 decimals flattened nA/uA-scale
+  // values (e.g. Ioff in A/m) to "0.000000". %.9g must round-trip them.
+  const double ioff = 3.7e-9;
+  const double leakage = 1.234567e-6;
+  {
+    CsvWriter w(path_, {"ioff", "leakage"});
+    w.row(std::vector<double>{ioff, leakage});
+  }
+  std::ifstream in(path_);
+  std::string header, line;
+  std::getline(in, header);
+  std::getline(in, line);
+  const auto comma = line.find(',');
+  ASSERT_NE(comma, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(line.substr(0, comma)), ioff);
+  EXPECT_DOUBLE_EQ(std::stod(line.substr(comma + 1)), leakage);
+  EXPECT_EQ(line.find("0.000000,"), std::string::npos);
+}
+
+TEST_F(CsvTest, FormatCsvDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 1e-12, 6.02214076e23, 3.3333333e-9}) {
+    EXPECT_DOUBLE_EQ(std::stod(formatCsvDouble(v)), v) << v;
+  }
+}
+
 TEST_F(CsvTest, LineCountMatchesRows) {
   {
     CsvWriter w(path_, {"v"});
