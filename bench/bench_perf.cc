@@ -6,11 +6,15 @@
 #include <iostream>
 
 #include "circuit/generator.h"
+#include "core/design_space.h"
 #include "device/mosfet.h"
+#include "exec/exec.h"
 #include "obs/obs.h"
 #include "opt/dual_vth.h"
+#include "opt/sizing.h"
 #include "powergrid/grid_model.h"
 #include "sim/circuit_sim.h"
+#include "sta/incremental.h"
 #include "sta/sta.h"
 
 namespace {
@@ -60,7 +64,65 @@ void BM_DualVth(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
   state.counters["fraction_high_vth"] = fractionHigh;
 }
-BENCHMARK(BM_DualVth)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DualVth)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_Sizing(benchmark::State& state) {
+  const circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  int resized = 0;
+  for (auto _ : state) {
+    const opt::SizingResult r = opt::downsizeForPower(nl, lib100());
+    resized = r.gatesResized;
+    benchmark::DoNotOptimize(resized);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["gates_resized"] = resized;
+}
+BENCHMARK(BM_Sizing)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+// The incremental engine alone: one committed swap + one rolled-back swap
+// per iteration on a large netlist (items = swaps/s). The repropagated
+// counter exposes the O(cone) work that replaces O(gates) full passes.
+void BM_IncrementalSta(benchmark::State& state) {
+  circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  sta::IncrementalSta inc(nl);
+  const auto gates = nl.gateIds();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const int g = gates[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(gates.size()) - 1))];
+    const auto& cell = nl.node(g).cell;
+    const circuit::Cell alt = lib100().recorner(
+        cell,
+        cell.vth == circuit::VthClass::Low ? circuit::VthClass::High
+                                           : circuit::VthClass::Low,
+        cell.vddDomain);
+    inc.apply(g, alt);
+    inc.trial(g, lib100().generateCustom(cell.function, cell.drive * 1.5,
+                                         cell.vth, cell.vddDomain));
+    inc.rollback();
+    benchmark::DoNotOptimize(inc.worstSlack());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // swaps
+  state.counters["nodes_repropagated_per_swap"] =
+      static_cast<double>(inc.nodesRepropagated()) /
+      static_cast<double>(2 * state.iterations());
+}
+BENCHMARK(BM_IncrementalSta)->Arg(4000)->Arg(16000);
+
+// Design-space sweep on the nano::exec pool (items = grid points/s).
+// Compare NANO_EXEC_THREADS=1 against the core count for the speedup.
+void BM_Sweep(benchmark::State& state) {
+  core::DesignSpaceOptions options;
+  options.vddSteps = static_cast<int>(state.range(0));
+  options.vthSteps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exploreDesignSpace(options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+  state.counters["threads"] = exec::threadCount();
+}
+BENCHMARK(BM_Sweep)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
 
 void BM_GridSolve(benchmark::State& state) {
   powergrid::GridConfig cfg;

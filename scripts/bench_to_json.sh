@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Run the kernel benchmarks and capture machine-readable numbers.
+#
+#   scripts/bench_to_json.sh [build-dir] [out.json] [extra benchmark args...]
+#
+# Defaults: build dir ./build, output ./BENCH_PR2.json. The google-benchmark
+# JSON reporter carries per-benchmark real/cpu time plus our custom counters
+# (fraction_high_vth, nodes_repropagated_per_swap, threads, ...), so the
+# acceptance numbers for a PR are one `jq` away. NANO_OBS=1 additionally
+# prints the observability run report (exec/* and sta/incremental_* tallies)
+# to stderr alongside.
+set -eu
+
+build_dir="${1:-build}"
+out="${2:-BENCH_PR2.json}"
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+bench="$build_dir/bench/bench_perf"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+  exit 1
+fi
+
+"$bench" --benchmark_out="$out" --benchmark_out_format=json "$@"
+echo "wrote $out" >&2

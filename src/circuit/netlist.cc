@@ -16,6 +16,7 @@ int Netlist::addInput() {
   Node n;
   n.kind = NodeKind::PrimaryInput;
   nodes_.push_back(std::move(n));
+  loadCap_.push_back(0.0);  // no fanouts yet
   ++inputCount_;
   return nodeCount() - 1;
 }
@@ -33,8 +34,10 @@ int Netlist::addGate(Cell cell, std::vector<int> fanins) {
   n.cell = std::move(cell);
   n.fanins = std::move(fanins);
   nodes_.push_back(std::move(n));
+  loadCap_.push_back(0.0);  // no fanouts yet
   for (int f : nodes_.back().fanins) {
     nodes_[static_cast<std::size_t>(f)].fanouts.push_back(id);
+    refreshLoadCap(f);  // this gate's input cap now loads each fanin
   }
   ++gateCount_;
   return id;
@@ -45,6 +48,7 @@ void Netlist::markOutput(int id) {
   if (!n.isOutput) {
     n.isOutput = true;
     outputs_.push_back(id);
+    refreshLoadCap(id);  // external load now applies
   }
 }
 
@@ -57,9 +61,12 @@ void Netlist::replaceCell(int id, Cell cell) {
     throw std::invalid_argument("replaceCell: function change not allowed");
   }
   n.cell = std::move(cell);
+  // The swapped cell's input cap loads every fanin net; its own load is a
+  // function of its fanouts only and stays valid.
+  for (int f : n.fanins) refreshLoadCap(f);
 }
 
-double Netlist::loadCap(int id) const {
+void Netlist::refreshLoadCap(int id) {
   const Node& n = node(id);
   double cap = 0.0;
   for (int fo : n.fanouts) {
@@ -67,7 +74,7 @@ double Netlist::loadCap(int id) const {
   }
   cap += wireCapPerFanout_ * static_cast<double>(n.fanouts.size());
   if (n.isOutput) cap += outputLoadCap_;
-  return cap;
+  loadCap_[static_cast<std::size_t>(id)] = cap;
 }
 
 double Netlist::totalArea() const {

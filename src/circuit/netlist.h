@@ -49,7 +49,12 @@ class Netlist {
   [[nodiscard]] double outputLoadCap() const { return outputLoadCap_; }
 
   /// Capacitive load a node drives: fanout input caps + wire + external.
-  [[nodiscard]] double loadCap(int id) const;
+  /// Served from a per-node cache the mutators (addGate / replaceCell /
+  /// markOutput) keep valid, so hot callers (STA, the optimizers) stop
+  /// re-summing fanout caps and concurrent readers never race.
+  [[nodiscard]] double loadCap(int id) const {
+    return loadCap_[static_cast<std::size_t>(id)];
+  }
 
   /// Total cell area of the design, m^2.
   [[nodiscard]] double totalArea() const;
@@ -67,7 +72,13 @@ class Netlist {
   [[nodiscard]] std::vector<int> vddViolations() const;
 
  private:
+  /// Recompute the cached load of `id` from its fanouts (same summation
+  /// order as the uncached historical implementation, so values are
+  /// bit-identical).
+  void refreshLoadCap(int id);
+
   std::vector<Node> nodes_;
+  std::vector<double> loadCap_;  ///< per-node cache, always valid
   std::vector<int> outputs_;
   double wireCapPerFanout_;
   double outputLoadCap_;

@@ -1,6 +1,7 @@
 #include "core/analysis.h"
 
 #include "device/gate_model.h"
+#include "exec/exec.h"
 #include "util/units.h"
 
 namespace nano::core {
@@ -39,6 +40,13 @@ NodeSummary summarizeNode(int featureNm) {
   s.gridItrs = powergrid::itrsPitchReport(node);
   s.wakeup = powergrid::wakeupTransient(node, node.itrsVddPads);
   return s;
+}
+
+std::vector<NodeSummary> summarizeRoadmap() {
+  const auto features = tech::roadmapFeatures();
+  return exec::parallelMap<NodeSummary>(
+      features.size(),
+      [&](std::size_t i) { return summarizeNode(features[i]); });
 }
 
 }  // namespace nano::core

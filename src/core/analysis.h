@@ -4,6 +4,8 @@
 // "quickstart" view of the library.
 #pragma once
 
+#include <vector>
+
 #include "interconnect/global_wiring.h"
 #include "powergrid/irdrop.h"
 #include "powergrid/transient.h"
@@ -47,5 +49,9 @@ struct NodeSummary {
 
 /// Characterize one node (feature size in nm, on the roadmap).
 NodeSummary summarizeNode(int featureNm);
+
+/// Characterize every roadmap node, one summary per node in roadmap order.
+/// Nodes are independent, so they run in parallel on the nano::exec pool.
+std::vector<NodeSummary> summarizeRoadmap();
 
 }  // namespace nano::core

@@ -6,6 +6,7 @@
 
 #include "device/gate_model.h"
 #include "device/mosfet.h"
+#include "exec/exec.h"
 #include "util/numeric.h"
 
 namespace nano::core {
@@ -93,16 +94,16 @@ std::vector<OperatingPoint> exploreDesignSpace(
     throw std::invalid_argument("exploreDesignSpace: need >= 2 steps");
   }
   const Reference ref = makeReference(options);
-  std::vector<OperatingPoint> grid;
-  grid.reserve(static_cast<std::size_t>(options.vddSteps) *
-               static_cast<std::size_t>(options.vthSteps));
-  for (double vdd : util::linspace(options.vddMin, ref.vdd0, options.vddSteps)) {
-    for (double vth :
-         util::linspace(options.vthMin, options.vthMax, options.vthSteps)) {
-      grid.push_back(evaluate(ref, vdd, vth));
-    }
-  }
-  return grid;
+  // Flatten the Vdd x Vth grid so every cell is one independent map item;
+  // slot k = (vdd index, vth index) reproduces the serial nesting order.
+  const std::vector<double> vdds =
+      util::linspace(options.vddMin, ref.vdd0, options.vddSteps);
+  const std::vector<double> vths =
+      util::linspace(options.vthMin, options.vthMax, options.vthSteps);
+  return exec::parallelMap<OperatingPoint>(
+      vdds.size() * vths.size(), [&](std::size_t k) {
+        return evaluate(ref, vdds[k / vths.size()], vths[k % vths.size()]);
+      });
 }
 
 OperatingPoint optimalPoint(const DesignSpaceOptions& options,
@@ -139,11 +140,16 @@ OperatingPoint optimalPoint(const DesignSpaceOptions& options,
     return candidate;
   };
 
+  // Evaluate each Vdd in parallel, then reduce serially with the same
+  // strict < as before: the first minimum in sweep order wins regardless
+  // of thread count.
+  const std::vector<double> vdds =
+      util::linspace(options.vddMin, ref.vdd0, 4 * options.vddSteps);
+  const std::vector<OperatingPoint> pts = exec::parallelMap<OperatingPoint>(
+      vdds.size(), [&](std::size_t i) { return bestAtVdd(vdds[i]); });
   OperatingPoint best;
   best.ptotalNorm = std::numeric_limits<double>::infinity();
-  for (double vdd :
-       util::linspace(options.vddMin, ref.vdd0, 4 * options.vddSteps)) {
-    const OperatingPoint pt = bestAtVdd(vdd);
+  for (const OperatingPoint& pt : pts) {
     if (pt.ptotalNorm < best.ptotalNorm) best = pt;
   }
   if (!std::isfinite(best.ptotalNorm)) {

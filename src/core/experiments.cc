@@ -5,6 +5,7 @@
 
 #include "device/gate_model.h"
 #include "device/mosfet.h"
+#include "exec/exec.h"
 #include "util/numeric.h"
 #include "util/units.h"
 
@@ -85,22 +86,25 @@ std::vector<Fig1Point> computeFigure1(int points) {
   const double tHot = fromCelsius(85.0);
   const auto& n70 = tech::nodeByFeature(70);
   const auto& n50 = tech::nodeByFeature(50);
-  std::vector<Fig1Point> out;
-  for (double a : util::logspace(0.01, 0.5, points)) {
+  // Each sweep point is independent; parallelMap keeps slot i for point i
+  // so the output ordering matches the serial loop exactly.
+  const std::vector<double> activities = util::logspace(0.01, 0.5, points);
+  return exec::parallelMap<Fig1Point>(activities.size(), [&](std::size_t i) {
+    const double a = activities[i];
     Fig1Point p;
     p.activity = a;
     p.ratio70nm09V = device::staticToDynamicRatio(n70, a, tHot);
     p.ratio50nm07V =
         device::staticToDynamicRatio(n50, a, tHot, n50.vddAlternative);
     p.ratio50nm06V = device::staticToDynamicRatio(n50, a, tHot);
-    out.push_back(p);
-  }
-  return out;
+    return p;
+  });
 }
 
 std::vector<Fig2Point> computeFigure2() {
-  std::vector<Fig2Point> out;
-  for (int f : tech::roadmapFeatures()) {
+  const auto features = tech::roadmapFeatures();
+  return exec::parallelMap<Fig2Point>(features.size(), [&](std::size_t i) {
+    const int f = features[i];
     const auto& node = tech::nodeByFeature(f);
     const double vthHigh = device::solveVthForIon(node, node.ionTarget);
     const device::Mosfet high = device::Mosfet::fromNode(node, vthHigh);
@@ -118,9 +122,8 @@ std::vector<Fig2Point> computeFigure2() {
         device::solveVthForIon(node, 1.2 * node.ionTarget);
     const double dvth = vthHigh - vth20;
     p.ioffPenaltyFor20 = std::pow(10.0, dvth / node.subthresholdSwing);
-    out.push_back(p);
-  }
-  return out;
+    return p;
+  });
 }
 
 const char* policyName(VthPolicy policy) {
@@ -211,8 +214,11 @@ Fig34Context makeContext(int nodeNm) {
 std::vector<Fig34Point> computeFigure34(int nodeNm, int points,
                                         double activity, double vddMin) {
   const Fig34Context ctx = makeContext(nodeNm);
-  std::vector<Fig34Point> out;
-  for (double vdd : util::linspace(vddMin, ctx.vdd0, points)) {
+  const std::vector<double> vdds = util::linspace(vddMin, ctx.vdd0, points);
+  // Each Vdd point runs three Newton solves; they only read the shared
+  // context, so the sweep parallelizes without any synchronization.
+  return exec::parallelMap<Fig34Point>(vdds.size(), [&](std::size_t i) {
+    const double vdd = vdds[i];
     Fig34Point pt;
     pt.vdd = vdd;
     for (std::size_t k = 0; k < kVthPolicies.size(); ++k) {
@@ -223,9 +229,8 @@ std::vector<Fig34Point> computeFigure34(int nodeNm, int points,
           activity * ctx.loadCap * vdd * vdd * ctx.freq;
       pt.pdynOverPstat[k] = pdyn / pstatAt(ctx, vdd, vth);
     }
-    out.push_back(pt);
-  }
-  return out;
+    return pt;
+  });
 }
 
 Section33Claims computeSection33Claims(double activity) {
@@ -253,16 +258,16 @@ Section33Claims computeSection33Claims(double activity) {
 std::vector<Fig5Row> computeFigure5(bool withMeshCrossCheck) {
   powergrid::IrDropOptions options;
   options.runMesh = withMeshCrossCheck;
-  std::vector<Fig5Row> out;
-  for (int f : tech::roadmapFeatures()) {
-    const auto& node = tech::nodeByFeature(f);
+  // One mesh solve per roadmap node — the heaviest per-item sweep here.
+  const auto features = tech::roadmapFeatures();
+  return exec::parallelMap<Fig5Row>(features.size(), [&](std::size_t i) {
+    const auto& node = tech::nodeByFeature(features[i]);
     Fig5Row row;
-    row.nodeNm = f;
+    row.nodeNm = features[i];
     row.minPitch = powergrid::minPitchReport(node, options);
     row.itrs = powergrid::itrsPitchReport(node, options);
-    out.push_back(row);
-  }
-  return out;
+    return row;
+  });
 }
 
 }  // namespace nano::core

@@ -154,8 +154,8 @@ void printRoadmapComparison(std::ostream& os) {
   TextTable t({"node (nm)", "Vdd (V)", "Vth (V)", "Ioff (nA/um)", "FO4 (ps)",
                "power (W)", "theta_ja", "repeaters", "global P (W)",
                "rail W/Wmin", "wake noise (mV)"});
-  for (int f : tech::roadmapFeatures()) {
-    const NodeSummary s = summarizeNode(f);
+  for (const NodeSummary& s : summarizeRoadmap()) {
+    const int f = s.node->featureNm;
     t.addRow({std::to_string(f), fmt(s.node->vdd, 2), fmt(s.vthRequired, 3),
               fmt(s.ioffNaUm, 1), fmt(s.fo4DelayPs, 1), fmt(s.maxPowerW, 0),
               fmt(s.thetaJaRequired, 2), util::fmtSci(s.wiring.repeaterCount, 1),

@@ -1,0 +1,192 @@
+#include "exec/exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "obs/obs.h"
+
+namespace nano::exec {
+
+namespace {
+
+/// True while this thread executes region chunks; nested regions run
+/// inline so a body may call parallel code without deadlocking on the
+/// pool's single job slot.
+thread_local bool tlsInsideRegion = false;
+
+}  // namespace
+
+/// One parallel region. Lives on the caller's stack; workers only touch it
+/// between registering (++active) and deregistering (--active) under the
+/// pool mutex, and the caller does not return before active == 0.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};      ///< item-claim cursor
+  std::atomic<bool> cancelled{false};    ///< set on first exception
+  std::atomic<std::int64_t> chunks{0};   ///< chunks executed (all lanes)
+  std::atomic<std::int64_t> steals{0};   ///< chunks executed by workers
+  int active = 0;                        ///< workers in-region (pool mutex)
+  std::exception_ptr error;              ///< first exception (pool mutex)
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(1, threads) - 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || jobSeq_ != seen; });
+    if (stop_) return;
+    seen = jobSeq_;
+    Job* job = job_;
+    if (job == nullptr) continue;  // woke after the region already drained
+    ++job->active;
+    lk.unlock();
+    tlsInsideRegion = true;
+    runChunks(*job, /*isWorker=*/true);
+    tlsInsideRegion = false;
+    lk.lock();
+    if (--job->active == 0) cv_.notify_all();
+  }
+}
+
+void ThreadPool::runChunks(Job& job, bool isWorker) {
+  for (;;) {
+    if (job.cancelled.load(std::memory_order_relaxed)) return;
+    const std::size_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.n) return;
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!job.error) job.error = std::current_exception();
+      job.cancelled.store(true, std::memory_order_relaxed);
+    }
+    job.chunks.fetch_add(1, std::memory_order_relaxed);
+    if (isWorker) job.steals.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::parallelForBlocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    // ~4 chunks per lane: slack for load balancing without drowning cheap
+    // bodies in scheduling steps.
+    grain = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(threadCount()) * 4));
+  }
+  // Serial fast paths: single-lane pool, a region too small to split, or a
+  // nested call from inside a running region.
+  if (workers_.empty() || tlsInsideRegion || n <= grain) {
+    body(0, n);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = &job;
+    ++jobSeq_;
+  }
+  cv_.notify_all();
+  tlsInsideRegion = true;
+  runChunks(job, /*isWorker=*/false);
+  tlsInsideRegion = false;
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_.wait(lk, [&] { return job.active == 0; });
+    job_ = nullptr;  // workers check job_ under the mutex before registering
+  }
+  NANO_OBS_COUNT("exec/parallel_regions", 1);
+  NANO_OBS_COUNT("exec/tasks", job.chunks.load(std::memory_order_relaxed));
+  NANO_OBS_COUNT("exec/steals", job.steals.load(std::memory_order_relaxed));
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  parallelForBlocked(
+      n,
+      [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      },
+      grain);
+}
+
+int defaultThreadCount() {
+  if (const char* env = std::getenv("NANO_EXEC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(std::min(v, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+std::mutex& globalPoolMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unique_ptr<ThreadPool>& globalPoolSlot() {
+  static std::unique_ptr<ThreadPool> slot;
+  return slot;
+}
+
+}  // namespace
+
+ThreadPool& pool() {
+  std::lock_guard<std::mutex> lk(globalPoolMutex());
+  auto& slot = globalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(defaultThreadCount());
+  return *slot;
+}
+
+void setGlobalThreadCount(int threads) {
+  std::lock_guard<std::mutex> lk(globalPoolMutex());
+  globalPoolSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+int threadCount() { return pool().threadCount(); }
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t grain) {
+  pool().parallelFor(n, body, grain);
+}
+
+void parallelForBlocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  pool().parallelForBlocked(n, body, grain);
+}
+
+}  // namespace nano::exec

@@ -1,0 +1,108 @@
+// nano::exec — a small fixed-size thread pool with fork/join parallel
+// loops for the embarrassingly parallel outer layers of the library:
+// design-space sweeps, roadmap figure generation, per-node analysis, and
+// row-blocked sparse matrix-vector products. Like obs, any layer may
+// include it.
+//
+// Guarantees:
+//  - Deterministic results: parallelMap writes slot i of the output from
+//    item i only, so results are identical for any thread count (including
+//    NANO_EXEC_THREADS=1). Bodies must not share mutable state across
+//    indices; everything this library submits follows that rule.
+//  - Exception propagation: the first exception thrown by a body is
+//    rethrown on the calling thread after the region drains; remaining
+//    unclaimed chunks are cancelled.
+//  - Nested calls run inline (serially) on the calling thread, so bodies
+//    may themselves call into parallel code without deadlocking.
+//
+// Sizing: the process-wide pool reads NANO_EXEC_THREADS once on first use
+// (falling back to std::thread::hardware_concurrency). A pool of size N
+// runs N-1 workers; the calling thread is always the Nth lane.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nano::exec {
+
+/// Fixed-size fork/join worker pool. One parallel region runs at a time
+/// per pool; regions are chunk-self-scheduled over an atomic cursor, so
+/// imbalanced bodies still load-balance.
+class ThreadPool {
+ public:
+  /// A pool of `threads` lanes total (calling thread included), so
+  /// ThreadPool(1) spawns no workers and runs every region serially.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes available to a region (workers + the calling thread).
+  [[nodiscard]] int threadCount() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Run body(i) for every i in [0, n). Blocks until all items finish;
+  /// rethrows the first body exception. `grain` items are claimed per
+  /// scheduling step (0 = auto: ~4 chunks per lane).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 0);
+
+  /// Range-blocked variant for cheap bodies: body(begin, end) owns the
+  /// half-open index range. Avoids one indirect call per item.
+  void parallelForBlocked(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
+ private:
+  struct Job;
+
+  void workerLoop();
+  void runChunks(Job& job, bool isWorker);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Job* job_ = nullptr;        ///< active region, guarded by mutex_
+  std::uint64_t jobSeq_ = 0;  ///< bumps per region so workers re-arm
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Thread count the global pool uses: NANO_EXEC_THREADS if set (clamped to
+/// [1, 256]), else hardware concurrency, else 1.
+int defaultThreadCount();
+
+/// The process-wide pool, created on first use with defaultThreadCount().
+ThreadPool& pool();
+
+/// Replace the global pool with one of `threads` lanes. For tests and
+/// benchmarks; must not race with in-flight global parallel regions.
+void setGlobalThreadCount(int threads);
+
+/// Lanes of the global pool.
+int threadCount();
+
+/// parallelFor / parallelForBlocked on the global pool.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 std::size_t grain = 0);
+void parallelForBlocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 0);
+
+/// Map i -> fn(i) into a pre-sized vector. Slot i is written only by item
+/// i, so the result is identical for any thread count.
+template <typename T, typename Fn>
+std::vector<T> parallelMap(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  std::vector<T> out(n);
+  parallelFor(
+      n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+}  // namespace nano::exec

@@ -62,6 +62,8 @@ FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
         current = std::move(r.netlist);
         workingClock = r.timingAfter.clockPeriod;
         sr.name = "multi-Vdd (CVS)";
+        sr.power = r.powerAfter;
+        sr.timing = std::move(r.timingAfter);
         break;
       }
       case FlowStage::DualVth: {
@@ -71,6 +73,8 @@ FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
         DualVthResult r = runDualVth(current, library, do_, freq);
         current = std::move(r.netlist);
         sr.name = "dual-Vth";
+        sr.power = r.powerAfter;
+        sr.timing = std::move(r.timingAfter);
         break;
       }
       case FlowStage::Downsize: {
@@ -82,11 +86,11 @@ FlowResult runFlow(const Netlist& netlist, const circuit::Library& library,
         current = std::move(r.netlist);
         sr.name = "downsizing";
         sr.gatesResized = r.gatesResized;
+        sr.power = r.powerAfter;
+        sr.timing = std::move(r.timingAfter);
         break;
       }
     }
-    sr.power = power::computePower(current, freq, options.piActivity);
-    sr.timing = sta::analyze(current, workingClock);
     sr.fractionLowVdd = countFraction(current, VddDomain::Low);
     sr.fractionHighVth = countFraction(current, VthClass::High);
     res.stages.push_back(std::move(sr));

@@ -5,6 +5,7 @@
 
 #include "obs/obs.h"
 #include "opt/level_converter.h"
+#include "sta/incremental.h"
 
 namespace nano::opt {
 
@@ -30,7 +31,10 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
                    VddDomain::High);
   const double lcDelay = lcCell.delay(work.outputLoadCap());
 
-  sta::TimingResult timing = res.timingBefore;
+  // Incremental engine on the unconverted working netlist: keeps per-gate
+  // slacks live for the prune below at O(cone) per accepted move. The
+  // exact converter-aware verification still times a converted copy.
+  sta::IncrementalSta inc(work, clock);
   const auto gates = work.gateIds();
   int lowCount = 0;
 
@@ -56,14 +60,13 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
     const double load = work.loadCap(g);
     double delta = lowered.delay(load) - node.cell.delay(load);
     if (node.isOutput) delta += lcDelay;
-    if (timing.slack[static_cast<std::size_t>(g)] < delta + margin) continue;
+    if (inc.slack(g) < delta + margin) continue;
 
     // Apply and verify exactly: build the converted netlist and time it at
     // the original clock. Regular endpoints must meet the clock; endpoints
     // behind a level converter get the conversion latency absorbed by
     // their level-converting capture stage (one lcDelay of allowance).
-    const circuit::Cell saved = node.cell;
-    work.replaceCell(g, lowered);
+    inc.trial(g, lowered);
     const ConversionReport trialConv = insertLevelConverters(work, library, true);
     const sta::TimingResult trial = sta::analyze(trialConv.netlist, clock);
     bool ok = true;
@@ -80,10 +83,10 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
     }
     NANO_OBS_COUNT("opt/cvs_trials", 1);
     if (ok) {
-      timing = sta::analyze(work, clock);
+      inc.commit();
       ++lowCount;
     } else {
-      work.replaceCell(g, saved);
+      inc.rollback();
     }
   }
   NANO_OBS_COUNT("opt/cvs_accepted", lowCount);

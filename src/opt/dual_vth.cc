@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/obs.h"
+#include "sta/incremental.h"
 
 namespace nano::opt {
 
@@ -22,7 +23,9 @@ DualVthResult runDualVth(const Netlist& netlist,
 
   Netlist work = netlist;
   const double margin = options.guardband * clock;
-  sta::TimingResult timing = res.timingBefore;
+  // Incremental engine: each trial swap repropagates only the affected
+  // cone instead of re-timing the whole netlist.
+  sta::IncrementalSta inc(work, clock);
 
   // Rank candidates by leakage saved per delay added (sensitivity order).
   const auto gates = work.gateIds();
@@ -53,20 +56,18 @@ DualVthResult runDualVth(const Netlist& netlist,
   int highCount = 0;
   int trials = 0;
   for (const Candidate& c : candidates) {
-    if (timing.slack[static_cast<std::size_t>(c.id)] < c.delta + margin) {
+    if (inc.slack(c.id) < c.delta + margin) {
       continue;  // cannot possibly fit
     }
     const auto& node = work.node(c.id);
-    const circuit::Cell saved = node.cell;
-    work.replaceCell(
-        c.id, library.recorner(node.cell, VthClass::High, node.cell.vddDomain));
+    inc.trial(c.id, library.recorner(node.cell, VthClass::High,
+                                     node.cell.vddDomain));
     ++trials;
-    sta::TimingResult trial = sta::analyze(work, clock);
-    if (trial.worstSlack >= -1e-15 + 0.0 && trial.meetsTiming()) {
-      timing = std::move(trial);
+    if (inc.meetsTiming()) {
+      inc.commit();
       ++highCount;
     } else {
-      work.replaceCell(c.id, saved);
+      inc.rollback();
     }
   }
   NANO_OBS_COUNT("opt/dualvth_trials", trials);
@@ -75,7 +76,7 @@ DualVthResult runDualVth(const Netlist& netlist,
   res.fractionHighVth =
       static_cast<double>(highCount) / static_cast<double>(netlist.gateCount());
   res.powerAfter = power::computePower(work, freq, options.piActivity);
-  res.timingAfter = sta::analyze(work, clock);
+  res.timingAfter = inc.exportResult();
   res.netlist = std::move(work);
   return res;
 }

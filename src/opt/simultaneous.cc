@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "obs/obs.h"
+#include "sta/incremental.h"
 
 namespace nano::opt {
 
@@ -38,7 +39,7 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
   res.powerBefore = power::computePower(netlist, freq, options.piActivity);
 
   Netlist work = netlist;
-  sta::TimingResult timing = res.timingBefore;
+  sta::IncrementalSta inc(work, clock);
   auto activity = power::propagateActivity(work, 0.5, options.piActivity);
   // Moves that failed full STA despite fitting the local slack estimate:
   // (gate, isVth, drive quantized) — skip instead of retrying forever.
@@ -51,7 +52,7 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
     Move best;
     const auto& node = work.node(g);
     const double load = work.loadCap(g);
-    const double slack = timing.slack[static_cast<std::size_t>(g)];
+    const double slack = inc.slack(g);
     const double act = activity.activity[static_cast<std::size_t>(g)];
 
     // Candidate 1: raise to high Vth (leakage saving, same dynamic).
@@ -111,13 +112,12 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
     if (best.gate < 0) break;
 
     const Cell saved = work.node(best.gate).cell;
-    work.replaceCell(best.gate, best.cell);
-    sta::TimingResult trial = sta::analyze(work, clock);
-    if (trial.meetsTiming()) {
-      timing = std::move(trial);
+    inc.trial(best.gate, best.cell);
+    if (inc.meetsTiming()) {
+      inc.commit();
       (best.isVth ? res.vthMoves : res.sizeMoves) += 1;
     } else {
-      work.replaceCell(best.gate, saved);
+      inc.rollback();
       rejected.insert(key(best.gate, best.isVth, best.cell.drive));
       rejected.insert(key(best.gate, best.isVth, saved.drive));
       NANO_OBS_COUNT("opt/simultaneous_rejected", 1);
@@ -126,7 +126,7 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
   NANO_OBS_COUNT("opt/simultaneous_accepted", res.vthMoves + res.sizeMoves);
 
   res.powerAfter = power::computePower(work, freq, options.piActivity);
-  res.timingAfter = sta::analyze(work, clock);
+  res.timingAfter = inc.exportResult();
   res.netlist = std::move(work);
   return res;
 }

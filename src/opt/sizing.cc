@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "obs/obs.h"
+#include "sta/incremental.h"
 
 namespace nano::opt {
 
@@ -55,15 +56,15 @@ SizingResult downsizeForPower(const Netlist& netlist,
   Netlist work = netlist;
   const double margin = options.guardband * clock;
   constexpr int kMaxPasses = 4;
+  // Incremental engine: trial swaps repropagate only the affected cone;
+  // slacks are always current, so each pass sorts on live values.
+  sta::IncrementalSta inc(work, clock);
 
   for (int pass = 0; pass < kMaxPasses; ++pass) {
-    sta::TimingResult timing = sta::analyze(work, clock);
     // Most-slack-first order.
     auto order = work.gateIds();
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return timing.slack[static_cast<std::size_t>(a)] >
-             timing.slack[static_cast<std::size_t>(b)];
-    });
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return inc.slack(a) > inc.slack(b); });
     bool changed = false;
     for (int g : order) {
       bool resizedThisGate = false;
@@ -81,17 +82,15 @@ SizingResult downsizeForPower(const Netlist& netlist,
         const Cell candidate = resized(library, node.cell, newDrive);
         const double load = work.loadCap(g);
         const double delta = candidate.delay(load) - node.cell.delay(load);
-        if (timing.slack[static_cast<std::size_t>(g)] < delta + margin) break;
+        if (inc.slack(g) < delta + margin) break;
 
-        const Cell saved = node.cell;
-        work.replaceCell(g, candidate);
-        sta::TimingResult trial = sta::analyze(work, clock);
-        if (trial.meetsTiming()) {
-          timing = std::move(trial);
+        inc.trial(g, candidate);
+        if (inc.meetsTiming()) {
+          inc.commit();
           changed = true;
           resizedThisGate = true;
         } else {
-          work.replaceCell(g, saved);
+          inc.rollback();
           break;
         }
       }
@@ -102,7 +101,7 @@ SizingResult downsizeForPower(const Netlist& netlist,
 
   res.powerAfter = power::computePower(work, freq, options.piActivity);
   res.areaAfter = work.totalArea();
-  res.timingAfter = sta::analyze(work, clock);
+  res.timingAfter = inc.exportResult();
   res.netlist = std::move(work);
   return res;
 }
@@ -119,15 +118,15 @@ SizingResult upsizeForTiming(const Netlist& netlist,
 
   Netlist work = netlist;
   const int maxMoves = 4 * netlist.gateCount();
+  sta::IncrementalSta inc(work, clockPeriod);
   for (int move = 0; move < maxMoves; ++move) {
-    sta::TimingResult timing = sta::analyze(work, clockPeriod);
-    if (timing.meetsTiming()) break;
+    if (inc.meetsTiming()) break;
 
     // Best move on the critical path: largest estimated total delay gain.
     int bestGate = -1;
     Cell bestCell;
     double bestGain = 0.0;
-    for (int g : timing.criticalPath) {
+    for (int g : inc.criticalPath()) {
       const auto& node = work.node(g);
       if (node.kind != Netlist::NodeKind::Gate) continue;
       const double newDrive = node.cell.drive * 1.5;
@@ -150,13 +149,13 @@ SizingResult upsizeForTiming(const Netlist& netlist,
       }
     }
     if (bestGate < 0) break;  // no improving move
-    work.replaceCell(bestGate, bestCell);
+    inc.apply(bestGate, bestCell);
     ++res.gatesResized;
   }
 
   res.powerAfter = power::computePower(work, freq);
   res.areaAfter = work.totalArea();
-  res.timingAfter = sta::analyze(work, clockPeriod);
+  res.timingAfter = inc.exportResult();
   res.netlist = std::move(work);
   return res;
 }

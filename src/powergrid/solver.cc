@@ -5,9 +5,16 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/exec.h"
 #include "obs/obs.h"
 
 namespace nano::powergrid {
+
+namespace {
+// Below this row count the launch overhead of a parallel region beats any
+// gain from splitting the matrix-vector product.
+constexpr std::size_t kParallelRows = 8192;
+}  // namespace
 
 SparseSpd::SparseSpd(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("SparseSpd: empty");
@@ -95,13 +102,24 @@ void SparseSpd::finalize() {
 void SparseSpd::multiply(const std::vector<double>& x,
                          std::vector<double>& y) const {
   if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
-  y.assign(n_, 0.0);
-  for (std::size_t r = 0; r < n_; ++r) {
-    double sum = 0.0;
-    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-      sum += val_[k] * x[col_[k]];
+  // Reuse the caller's storage: every element is overwritten below, so a
+  // zero-fill per call (the old y.assign) is pure waste inside CG loops.
+  if (y.size() != n_) y.resize(n_);
+  auto rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      double sum = 0.0;
+      for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+        sum += val_[k] * x[col_[k]];
+      }
+      y[r] = sum;
     }
-    y[r] = sum;
+  };
+  // Each row writes y[r] exactly once with a serially-accumulated sum, so
+  // the result is bit-identical at any thread count.
+  if (n_ >= kParallelRows && exec::threadCount() > 1) {
+    exec::parallelForBlocked(n_, rows, 2048);
+  } else {
+    rows(0, n_);
   }
 }
 

@@ -1,0 +1,283 @@
+#include "sta/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace nano::sta {
+
+using circuit::Netlist;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+IncrementalSta::IncrementalSta(Netlist& netlist, double clockPeriod,
+                               double epsilon)
+    : netlist_(&netlist), clock_(clockPeriod), epsilon_(epsilon) {
+  if (epsilon < 0) {
+    throw std::invalid_argument("IncrementalSta: negative epsilon");
+  }
+  rebuild();
+}
+
+void IncrementalSta::rebuild() {
+  if (pending_) {
+    throw std::logic_error("IncrementalSta::rebuild: trial pending");
+  }
+  TimingResult r = analyze(*netlist_, clock_ > 0 ? clock_ : -1.0);
+  clock_ = r.clockPeriod;  // resolved to the critical delay when <= 0
+  arrival_ = std::move(r.arrival);
+  required_ = std::move(r.required);
+  slack_ = std::move(r.slack);
+  const std::size_t n = arrival_.size();
+  mark_.assign(n, 0);
+  queued_.assign(n, 0);
+  epoch_ = 0;
+  queueEpoch_ = 0;
+  journal_.clear();
+}
+
+double IncrementalSta::gateDelay(int id) const {
+  const auto& node = netlist_->node(id);
+  if (node.kind != Netlist::NodeKind::Gate) return 0.0;
+  return node.cell.delay(netlist_->loadCap(id));
+}
+
+double IncrementalSta::recomputeArrival(int id) const {
+  const auto& node = netlist_->node(id);
+  if (node.kind != Netlist::NodeKind::Gate) return 0.0;
+  // Same clamp-at-zero max as sta::analyze's forward pass.
+  double worst = 0.0;
+  for (int f : node.fanins) {
+    const double a = arrival_[static_cast<std::size_t>(f)];
+    if (a >= worst) worst = a;
+  }
+  return worst + node.cell.delay(netlist_->loadCap(id));
+}
+
+double IncrementalSta::recomputeRequired(int id) const {
+  const auto& node = netlist_->node(id);
+  double req = node.isOutput ? clock_ : kInf;
+  for (int fo : node.fanouts) {
+    req = std::min(req, required_[static_cast<std::size_t>(fo)] - gateDelay(fo));
+  }
+  return req;
+}
+
+double IncrementalSta::worstSlack() const {
+  double worst = kInf;
+  for (int id : netlist_->outputs()) {
+    worst = std::min(worst, slack_[static_cast<std::size_t>(id)]);
+  }
+  return worst;
+}
+
+void IncrementalSta::save(int id) {
+  auto& m = mark_[static_cast<std::size_t>(id)];
+  if (m == epoch_) return;
+  m = epoch_;
+  const auto i = static_cast<std::size_t>(id);
+  journal_.push_back({id, arrival_[i], required_[i], slack_[i]});
+}
+
+void IncrementalSta::trial(int gate, circuit::Cell cell) {
+  if (pending_) {
+    throw std::logic_error(
+        "IncrementalSta::trial: a trial is already pending; commit or "
+        "rollback first");
+  }
+  const auto& node = netlist_->node(gate);
+  if (node.kind != Netlist::NodeKind::Gate) {
+    throw std::invalid_argument("IncrementalSta::trial: not a gate");
+  }
+  pending_ = true;
+  pendingGate_ = gate;
+  savedCell_ = node.cell;
+  ++epoch_;
+  if (epoch_ == 0) {  // epoch wrapped: stale marks could collide
+    std::fill(mark_.begin(), mark_.end(), 0u);
+    epoch_ = 1;
+  }
+  journal_.clear();
+
+  // Delay changes at the swapped gate and at its fanin drivers, whose
+  // load includes the swapped cell's input cap.
+  std::vector<int> delayChanged;
+  delayChanged.reserve(node.fanins.size() + 1);
+  for (int f : node.fanins) {
+    if (netlist_->node(f).kind == Netlist::NodeKind::Gate) {
+      delayChanged.push_back(f);
+    }
+  }
+  delayChanged.push_back(gate);
+
+  netlist_->replaceCell(gate, std::move(cell));
+  const std::int64_t before = repropagated_;
+  propagateDelayChange(delayChanged);
+  NANO_OBS_COUNT("sta/incremental_trials", 1);
+  NANO_OBS_COUNT("sta/incremental_nodes_repropagated", repropagated_ - before);
+}
+
+void IncrementalSta::propagateDelayChange(const std::vector<int>& delayChanged) {
+  auto bumpQueueEpoch = [&] {
+    ++queueEpoch_;
+    if (queueEpoch_ == 0) {
+      std::fill(queued_.begin(), queued_.end(), 0u);
+      queueEpoch_ = 1;
+    }
+  };
+
+  // Forward: arrivals through the fanout cones. A min-heap over node ids
+  // is a topological order (fanins always have smaller ids), so each node
+  // is finalized in one visit; propagation stops where the recomputed
+  // arrival matches the stored one within epsilon.
+  bumpQueueEpoch();
+  heap_.clear();
+  auto pushForward = [&](int id) {
+    auto& q = queued_[static_cast<std::size_t>(id)];
+    if (q == queueEpoch_) return;
+    q = queueEpoch_;
+    heap_.push_back(id);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<int>());
+  };
+  for (int id : delayChanged) pushForward(id);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<int>());
+    const int id = heap_.back();
+    heap_.pop_back();
+    ++repropagated_;
+    const double updated = recomputeArrival(id);
+    const double old = arrival_[static_cast<std::size_t>(id)];
+    if (std::abs(updated - old) > epsilon_) {
+      save(id);
+      arrival_[static_cast<std::size_t>(id)] = updated;
+      for (int fo : netlist_->node(id).fanouts) pushForward(fo);
+    }
+  }
+
+  // Backward: required times through the fanin cones (required depends on
+  // gate delays and the clock, not on arrivals, so the two passes are
+  // independent). A max-heap over ids is reverse-topological.
+  bumpQueueEpoch();
+  heap_.clear();
+  auto pushBackward = [&](int id) {
+    auto& q = queued_[static_cast<std::size_t>(id)];
+    if (q == queueEpoch_) return;
+    q = queueEpoch_;
+    heap_.push_back(id);
+    std::push_heap(heap_.begin(), heap_.end());
+  };
+  for (int d : delayChanged) {
+    for (int f : netlist_->node(d).fanins) pushBackward(f);
+  }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const int id = heap_.back();
+    heap_.pop_back();
+    ++repropagated_;
+    const double updated = recomputeRequired(id);
+    const double old = required_[static_cast<std::size_t>(id)];
+    // Infinities (unconstrained nodes) compare exactly; inf - inf is NaN.
+    const bool changed = (updated == kInf || old == kInf)
+                             ? updated != old
+                             : std::abs(updated - old) > epsilon_;
+    if (changed) {
+      save(id);
+      required_[static_cast<std::size_t>(id)] = updated;
+      for (int f : netlist_->node(id).fanins) pushBackward(f);
+    }
+  }
+
+  // Slack changes exactly where arrival or required changed — the
+  // journaled set.
+  for (const Saved& s : journal_) {
+    const auto i = static_cast<std::size_t>(s.id);
+    slack_[i] = (required_[i] == kInf) ? clock_ : required_[i] - arrival_[i];
+  }
+}
+
+void IncrementalSta::commit() {
+  if (!pending_) {
+    throw std::logic_error("IncrementalSta::commit: no pending trial");
+  }
+  journal_.clear();
+  pending_ = false;
+  pendingGate_ = -1;
+}
+
+void IncrementalSta::rollback() {
+  if (!pending_) {
+    throw std::logic_error("IncrementalSta::rollback: no pending trial");
+  }
+  // Restoring the cell also restores the netlist's load-cap cache (same
+  // recompute path), so engine and netlist rewind together.
+  netlist_->replaceCell(pendingGate_, std::move(savedCell_));
+  for (const Saved& s : journal_) {
+    const auto i = static_cast<std::size_t>(s.id);
+    arrival_[i] = s.arrival;
+    required_[i] = s.required;
+    slack_[i] = s.slack;
+  }
+  journal_.clear();
+  pending_ = false;
+  pendingGate_ = -1;
+}
+
+void IncrementalSta::apply(int gate, circuit::Cell cell) {
+  trial(gate, std::move(cell));
+  commit();
+}
+
+std::vector<int> IncrementalSta::criticalPath() const {
+  // Mirrors sta::analyze exactly: last maximum wins (>=) among endpoints
+  // and among fanins, walk stops at a primary input.
+  double critical = 0.0;
+  int end = -1;
+  for (int id : netlist_->outputs()) {
+    if (arrival_[static_cast<std::size_t>(id)] >= critical) {
+      critical = arrival_[static_cast<std::size_t>(id)];
+      end = id;
+    }
+  }
+  std::vector<int> path;
+  if (end < 0) return path;
+  for (int cur = end; cur >= 0;) {
+    path.push_back(cur);
+    const auto& node = netlist_->node(cur);
+    if (node.kind == Netlist::NodeKind::PrimaryInput) break;
+    double worst = 0.0;
+    int worstId = -1;
+    for (int f : node.fanins) {
+      if (arrival_[static_cast<std::size_t>(f)] >= worst) {
+        worst = arrival_[static_cast<std::size_t>(f)];
+        worstId = f;
+      }
+    }
+    cur = worstId;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TimingResult IncrementalSta::exportResult() const {
+  TimingResult r;
+  r.clockPeriod = clock_;
+  r.arrival = arrival_;
+  r.required = required_;
+  r.slack = slack_;
+  double critical = 0.0;
+  for (int id : netlist_->outputs()) {
+    critical = std::max(critical, arrival_[static_cast<std::size_t>(id)]);
+  }
+  r.criticalPathDelay = critical;
+  r.worstSlack = worstSlack();
+  r.criticalPath = criticalPath();
+  return r;
+}
+
+}  // namespace nano::sta

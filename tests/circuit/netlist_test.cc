@@ -177,5 +177,40 @@ TEST(DefaultWireCap, HalfAvgWirePerFanout) {
               0.5 * node.localWireCapPerM * node.avgLocalWireLength, 1e-21);
 }
 
+// loadCap is served from a cache the mutators keep valid; every mutation
+// path must leave it equal to the from-scratch sum.
+TEST(LoadCapCache, ReplaceCellRefreshesFaninLoads) {
+  Fixture f;
+  Netlist nl(1e-15, 0.0);
+  const int a = nl.addInput();
+  const int g1 = nl.addGate(f.inv, {a});
+  const int g2 = nl.addGate(f.inv, {g1});
+  nl.markOutput(g2);
+  const double before = nl.loadCap(g1);
+
+  // Doubling g2's drive doubles its input cap; g1's cached load follows.
+  Cell big = f.lib.generateCustom(CellFunction::Inv, 2.0);
+  nl.replaceCell(g2, big);
+  EXPECT_DOUBLE_EQ(nl.loadCap(g1), before - f.inv.inputCap + big.inputCap);
+  // The swapped gate's own load is untouched by its cell swap.
+  EXPECT_DOUBLE_EQ(nl.loadCap(g2), 1e-15 * 0 + nl.outputLoadCap());
+}
+
+TEST(LoadCapCache, AddGateAndMarkOutputRefreshDrivers) {
+  Fixture f;
+  Netlist nl(1e-15, 3e-15);
+  const int a = nl.addInput();
+  const int g1 = nl.addGate(f.inv, {a});
+  EXPECT_DOUBLE_EQ(nl.loadCap(g1), 0.0);  // drives nothing yet
+
+  const int g2 = nl.addGate(f.inv, {g1});  // new fanout: cap + wire
+  EXPECT_DOUBLE_EQ(nl.loadCap(g1), f.inv.inputCap + 1e-15);
+  EXPECT_DOUBLE_EQ(nl.loadCap(a), f.inv.inputCap + 1e-15);
+
+  nl.markOutput(g2);  // external load lands on the flagged node only
+  EXPECT_DOUBLE_EQ(nl.loadCap(g2), 3e-15);
+  EXPECT_DOUBLE_EQ(nl.loadCap(g1), f.inv.inputCap + 1e-15);
+}
+
 }  // namespace
 }  // namespace nano::circuit

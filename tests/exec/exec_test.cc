@@ -1,0 +1,155 @@
+#include "exec/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/design_space.h"
+#include "core/experiments.h"
+#include "obs/obs.h"
+
+namespace nano::exec {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool p(4);
+  constexpr std::size_t kN = 10007;
+  std::vector<std::atomic<int>> hits(kN);
+  p.parallelFor(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, BlockedRangesCoverWithoutOverlap) {
+  ThreadPool p(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  p.parallelForBlocked(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      64);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkers) {
+  ThreadPool p(1);
+  EXPECT_EQ(p.threadCount(), 1);
+  int sum = 0;  // no synchronization needed: everything runs inline
+  p.parallelFor(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoop) {
+  ThreadPool p(4);
+  bool called = false;
+  p.parallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesToCaller) {
+  ThreadPool p(4);
+  EXPECT_THROW(
+      p.parallelFor(1000,
+                    [&](std::size_t i) {
+                      if (i == 123) throw std::runtime_error("boom");
+                    }),
+      std::runtime_error);
+  // The pool survives a throwing region and runs the next one normally.
+  std::atomic<int> count{0};
+  p.parallelFor(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool p(4);
+  std::atomic<long> total{0};
+  p.parallelFor(8, [&](std::size_t) {
+    // A nested region on the same pool must not wait for the outer
+    // region's job slot — it runs inline on this lane.
+    long local = 0;
+    p.parallelFor(100, [&](std::size_t j) { local += static_cast<long>(j); });
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 8 * 4950);
+}
+
+TEST(ExecTest, ParallelMapKeepsItemOrder) {
+  const std::vector<int> out =
+      parallelMap<int>(1000, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ExecTest, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("NANO_EXEC_THREADS", "3", 1);
+  EXPECT_EQ(defaultThreadCount(), 3);
+  ::setenv("NANO_EXEC_THREADS", "0", 1);  // invalid: below 1 -> fallback
+  EXPECT_GE(defaultThreadCount(), 1);
+  ::setenv("NANO_EXEC_THREADS", "9999", 1);  // clamped
+  EXPECT_EQ(defaultThreadCount(), 256);
+  ::unsetenv("NANO_EXEC_THREADS");
+  EXPECT_GE(defaultThreadCount(), 1);
+}
+
+TEST(ExecTest, ObsCountsParallelRegions) {
+  obs::setEnabled(true);
+  auto& counter = obs::MetricsRegistry::instance().counter("exec/parallel_regions");
+  const std::int64_t before = counter.value();
+  setGlobalThreadCount(4);
+  parallelFor(10000, [](std::size_t) {}, 64);
+  EXPECT_GT(counter.value(), before);
+  obs::setEnabled(false);
+  setGlobalThreadCount(defaultThreadCount());
+}
+
+/// The ISSUE-level determinism guarantee: a full design-space sweep and a
+/// roadmap figure produce bit-identical results at 1 lane and at 8 lanes.
+TEST(ExecTest, SweepsAreBitIdenticalAcrossThreadCounts) {
+  core::DesignSpaceOptions options;
+
+  setGlobalThreadCount(1);
+  const auto grid1 = core::exploreDesignSpace(options);
+  const auto fig1a = core::computeFigure1(40);
+  const auto best1 = core::optimalPoint(options, 1.5);
+
+  setGlobalThreadCount(8);
+  const auto grid8 = core::exploreDesignSpace(options);
+  const auto fig1b = core::computeFigure1(40);
+  const auto best8 = core::optimalPoint(options, 1.5);
+
+  setGlobalThreadCount(defaultThreadCount());
+
+  ASSERT_EQ(grid1.size(), grid8.size());
+  for (std::size_t i = 0; i < grid1.size(); ++i) {
+    ASSERT_EQ(grid1[i].vdd, grid8[i].vdd);
+    ASSERT_EQ(grid1[i].vthDesign, grid8[i].vthDesign);
+    ASSERT_EQ(grid1[i].delayNorm, grid8[i].delayNorm);
+    ASSERT_EQ(grid1[i].ptotalNorm, grid8[i].ptotalNorm);
+  }
+  ASSERT_EQ(fig1a.size(), fig1b.size());
+  for (std::size_t i = 0; i < fig1a.size(); ++i) {
+    ASSERT_EQ(fig1a[i].ratio70nm09V, fig1b[i].ratio70nm09V);
+    ASSERT_EQ(fig1a[i].ratio50nm07V, fig1b[i].ratio50nm07V);
+    ASSERT_EQ(fig1a[i].ratio50nm06V, fig1b[i].ratio50nm06V);
+  }
+  EXPECT_EQ(best1.vdd, best8.vdd);
+  EXPECT_EQ(best1.vthDesign, best8.vthDesign);
+  EXPECT_EQ(best1.ptotalNorm, best8.ptotalNorm);
+}
+
+}  // namespace
+}  // namespace nano::exec
