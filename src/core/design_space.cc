@@ -7,6 +7,7 @@
 #include "device/gate_model.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
+#include "obs/obs.h"
 #include "util/numeric.h"
 
 namespace nano::core {
@@ -130,7 +131,16 @@ OperatingPoint optimalPoint(const DesignSpaceOptions& options,
     if (delayErr(options.vthMin) > 0.0) return pt;
     double vth = options.vthMax;
     if (delayErr(options.vthMax) > 0.0) {
-      vth = util::brent(delayErr, options.vthMin, options.vthMax, 1e-9).x;
+      // Per-point recovery: a failed solve marks this Vdd infeasible
+      // instead of throwing out of the parallel sweep.
+      const util::SolveResult r = util::tryBracketAndSolve(
+          delayErr, options.vthMin, options.vthMax, 0, 1e-9);
+      if (r.status == util::SolverStatus::BracketFailure ||
+          r.status == util::SolverStatus::NanDetected) {
+        NANO_OBS_COUNT("core/design_point_failed", 1);
+        return pt;
+      }
+      vth = r.x;
     }
     OperatingPoint candidate = evaluate(ref, vdd, vth);
     // The chosen Vth is the highest meeting timing, which already

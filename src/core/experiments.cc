@@ -6,6 +6,7 @@
 #include "device/gate_model.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
+#include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
 
@@ -168,26 +169,40 @@ double pstatAt(const Fig34Context& ctx, double vdd, double vthDesign) {
   return vdd * dev.ioff(vdd) * ctx.widthEff;
 }
 
+/// Per-point solve with recovery: a failed bracket retries once on a wider
+/// window; a terminal failure returns NaN so one bad sweep point marks
+/// itself instead of throwing out of a parallel map.
+double solvePolicyVth(const std::function<double(double)>& f, double vth0) {
+  util::SolveResult r =
+      util::tryBracketAndSolve(f, vth0 - 0.3, vth0 + 0.1, 40, 1e-9);
+  if (r.status == util::SolverStatus::BracketFailure) {
+    r = util::tryBracketAndSolve(f, vth0 - 0.8, vth0 + 0.5, 60, 1e-9);
+    if (r.status != util::SolverStatus::BracketFailure) {
+      NANO_OBS_COUNT("core/fig34_vth_rebracketed", 1);
+    }
+  }
+  if (r.status == util::SolverStatus::BracketFailure ||
+      r.status == util::SolverStatus::NanDetected) {
+    NANO_OBS_COUNT("core/fig34_point_failed", 1);
+    return std::nan("");
+  }
+  return r.x;
+}
+
 double vthForPolicy(const Fig34Context& ctx, VthPolicy policy, double vdd) {
   switch (policy) {
     case VthPolicy::Constant:
       return ctx.vth0;
-    case VthPolicy::ConstantPstatic: {
+    case VthPolicy::ConstantPstatic:
       // Vdd * Ioff(vth, vdd) == Vdd0 * Ioff0.
-      auto f = [&](double vth) {
-        return pstatAt(ctx, vdd, vth) - ctx.pstat0;
-      };
-      return util::bracketAndSolve(f, ctx.vth0 - 0.3, ctx.vth0 + 0.1, 40, 1e-9)
-          .x;
-    }
-    case VthPolicy::Conservative: {
+      return solvePolicyVth(
+          [&](double vth) { return pstatAt(ctx, vdd, vth) - ctx.pstat0; },
+          ctx.vth0);
+    case VthPolicy::Conservative:
       // Ioff(vth, vdd) == Ioff0: Pstatic scales linearly with Vdd.
-      auto f = [&](double vth) {
-        return deviceAt(ctx, vth).ioff(vdd) - ctx.ioff0;
-      };
-      return util::bracketAndSolve(f, ctx.vth0 - 0.3, ctx.vth0 + 0.1, 40, 1e-9)
-          .x;
-    }
+      return solvePolicyVth(
+          [&](double vth) { return deviceAt(ctx, vth).ioff(vdd) - ctx.ioff0; },
+          ctx.vth0);
   }
   throw std::logic_error("vthForPolicy: bad policy");
 }
@@ -249,7 +264,10 @@ Section33Claims computeSection33Claims(double activity) {
     const double pdyn = activity * ctx.loadCap * vdd * vdd * ctx.freq;
     return pdyn / pstatAt(ctx, vdd, vth) - 10.0;
   };
-  c.vddAtRatio10 = util::brent(ratioMinus10, 0.2, ctx.vdd0, 1e-6).x;
+  // bracketAndSolve (maxExpand 0) keeps brent's contract on the fixed
+  // interval but adds the bisection fallback if a Brent solve stalls.
+  c.vddAtRatio10 =
+      util::bracketAndSolve(ratioMinus10, 0.2, ctx.vdd0, 0, 1e-6).x;
   c.dynReductionAtRatio10 =
       1.0 - (c.vddAtRatio10 * c.vddAtRatio10) / (ctx.vdd0 * ctx.vdd0);
   return c;

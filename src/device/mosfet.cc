@@ -109,12 +109,18 @@ double Mosfet::ionFirstOrder(double vgs) const {
 
 double Mosfet::ionSelfConsistent(double vgs, double vds) const {
   // Solve I = Idsat0(vgs - I*Rs): the source resistance debiases the gate.
+  if (!std::isfinite(vgs)) return std::nan("");
   const double iMax = idsat0(vgs, vds);
+  if (!std::isfinite(iMax)) return std::nan("");
   if (iMax <= 0) return 0.0;
   auto f = [&](double i) { return idsat0(vgs - i * params_.rsOhmM, vds) - i; };
   // f(0) = iMax > 0 and f(iMax) <= 0 (degeneration can only reduce current),
-  // so [0, iMax] brackets the fixed point.
-  return util::brent(f, 0.0, iMax, iMax * 1e-12).x;
+  // so [0, iMax] brackets the fixed point. A stalled Brent solve falls back
+  // to bisection on the same bracket before reporting the best iterate.
+  const util::SolveResult r =
+      util::tryBracketAndSolve(f, 0.0, iMax, 0, iMax * 1e-12);
+  if (!r.converged) NANO_OBS_COUNT("device/ion_solve_nonconverged", 1);
+  return r.x;
 }
 
 double Mosfet::ion() const { return ionSelfConsistent(params_.vddReference); }
@@ -133,10 +139,28 @@ double Mosfet::linearConductance(double vgs) const {
   return mobility(vgs) * coxElectrical() * vgt / params_.leff;
 }
 
-double solveVthForIon(const tech::TechNode& node, double ionTarget,
-                      GateStack stack, double vddOverride, double temperature) {
+VthSolveResult solveVthForIonChecked(const tech::TechNode& node,
+                                     double ionTarget, GateStack stack,
+                                     double vddOverride, double temperature,
+                                     const VthSolveOptions& options) {
   NANO_OBS_SPAN("device/solve_vth");
+  VthSolveResult out;
+  out.diag.kernel = "device/solve_vth";
   const double vdd = vddOverride > 0 ? vddOverride : node.vdd;
+  NANO_OBS_COUNT("device/vth_solves", 1);
+
+  // NaN/Inf guard on the model inputs before any device is constructed:
+  // a poisoned target would otherwise surface as a confusing bracket
+  // failure 40 expansions later.
+  if (!std::isfinite(ionTarget) || !std::isfinite(vdd) ||
+      !std::isfinite(temperature)) {
+    out.vth = std::nan("");
+    out.diag.status = util::SolverStatus::NanDetected;
+    out.diag.residual = std::nan("");
+    NANO_OBS_COUNT("device/vth_solve_nonconverged", 1);
+    return out;
+  }
+
   auto ionAtVth = [&](double vth) {
     MosfetParams p;
     p.toxPhysical = node.toxPhysical;
@@ -151,11 +175,37 @@ double solveVthForIon(const tech::TechNode& node, double ionTarget,
     return Mosfet(p).ionSelfConsistent(vdd) - ionTarget;
   };
   // Ion decreases monotonically with Vth; search a generous bracket.
-  const util::SolveResult r = util::bracketAndSolve(ionAtVth, -0.2, vdd, 40, 1e-9);
-  NANO_OBS_COUNT("device/vth_solves", 1);
+  util::SolveResult r = util::tryBracketAndSolve(
+      ionAtVth, -0.2, vdd, options.maxExpand, options.xtol, options.maxIter);
+  if (r.status == util::SolverStatus::BracketFailure) {
+    // Re-expansion: retry once on a much wider window before giving up.
+    // Deep-subthreshold targets (tiny Ion) push the root far above Vdd.
+    const util::SolveResult wide =
+        util::tryBracketAndSolve(ionAtVth, -1.0, 2.0 * vdd + 1.0,
+                                 options.maxExpand + 20, options.xtol,
+                                 options.maxIter);
+    if (wide.status != util::SolverStatus::BracketFailure) {
+      NANO_OBS_COUNT("device/vth_solve_rebracketed", 1);
+      r = wide;
+    }
+  }
+  out.vth = r.x;
+  out.diag = r.diagnostics();
+  out.diag.kernel = "device/solve_vth";
   NANO_OBS_COUNT("device/vth_solve_iterations", r.iterations);
   if (!r.converged) NANO_OBS_COUNT("device/vth_solve_nonconverged", 1);
-  return r.x;
+  return out;
+}
+
+double solveVthForIon(const tech::TechNode& node, double ionTarget,
+                      GateStack stack, double vddOverride, double temperature) {
+  const VthSolveResult r =
+      solveVthForIonChecked(node, ionTarget, stack, vddOverride, temperature);
+  if (r.diag.status == util::SolverStatus::BracketFailure ||
+      r.diag.status == util::SolverStatus::NanDetected) {
+    throw std::invalid_argument("solveVthForIon: " + r.diag.describe());
+  }
+  return r.vth;
 }
 
 }  // namespace nano::device

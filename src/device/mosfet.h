@@ -21,6 +21,7 @@
 #pragma once
 
 #include "tech/itrs.h"
+#include "util/numeric.h"
 
 namespace nano::device {
 
@@ -127,9 +128,38 @@ class Mosfet {
   MosfetParams params_;
 };
 
+/// Iteration/tolerance knobs for the Vth solve; the defaults reproduce the
+/// historical behavior. Exposed so fault-injection tests can force the
+/// max-iteration path without waiting for a pathological tech node.
+struct VthSolveOptions {
+  int maxExpand = 40;    ///< bracket doublings before the wide-bracket retry
+  double xtol = 1e-9;    ///< V
+  int maxIter = 100;     ///< Brent budget (bisection fallback gets 2x)
+};
+
+/// Structured outcome of a Vth solve. On failure `vth` is the best iterate
+/// (NaN only when the inputs themselves were non-finite).
+struct VthSolveResult {
+  double vth = 0.0;            ///< V
+  util::Diagnostics diag;      ///< kernel "device/solve_vth"
+};
+
+/// Checked Vth-for-Ion solve: never throws on numerical failure. Recovery
+/// ladder: NaN/Inf input guard, bracket solve on [-0.2, Vdd], then one
+/// re-expansion retry on a much wider bracket before reporting
+/// BracketFailure.
+VthSolveResult solveVthForIonChecked(const tech::TechNode& node,
+                                     double ionTarget,
+                                     GateStack stack = GateStack::Poly,
+                                     double vddOverride = -1.0,
+                                     double temperature = 300.0,
+                                     const VthSolveOptions& options = {});
+
 /// Solve for the Vth that makes the device's self-consistent Ion at the
 /// node's Vdd equal `ionTarget` (A/m). This is the computation behind the
-/// "Vth required to meet Ion" row of Table 2.
+/// "Vth required to meet Ion" row of Table 2. Thin throwing wrapper over
+/// solveVthForIonChecked(): raises std::invalid_argument on bracket
+/// failure or non-finite inputs, like the historical implementation.
 double solveVthForIon(const tech::TechNode& node, double ionTarget,
                       GateStack stack = GateStack::Poly,
                       double vddOverride = -1.0, double temperature = 300.0);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "interconnect/elmore.h"
+#include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
 
@@ -68,15 +69,24 @@ RepeaterDesign optimalRepeatersNumeric(const RepeaterDriver& driver,
     auto f = [&](double len) {
       return repeaterSegmentDelay(driver, rc, size, len) / len;
     };
-    return util::minimizeGolden(f, seed.segmentLength / 8.0,
-                                seed.segmentLength * 8.0, seed.segmentLength * 1e-6);
+    return util::tryMinimizeGolden(f, seed.segmentLength / 8.0,
+                                   seed.segmentLength * 8.0,
+                                   seed.segmentLength * 1e-6);
   };
   auto delayForSize = [&](double size) { return bestLengthFor(size).fx; };
-  const auto sizeOpt = util::minimizeGolden(delayForSize, seed.size / 8.0,
-                                            seed.size * 8.0, seed.size * 1e-6);
+  const auto sizeOpt =
+      util::tryMinimizeGolden(delayForSize, seed.size / 8.0, seed.size * 8.0,
+                              seed.size * 1e-6);
+  const auto lenOpt = bestLengthFor(sizeOpt.x);
+  if (!sizeOpt.diagnostics().ok() || !lenOpt.diagnostics().ok()) {
+    // Recovery: the closed-form seed is a sound design; prefer it over a
+    // half-shrunk or poisoned golden-section iterate.
+    NANO_OBS_COUNT("interconnect/repeater_opt_fallback", 1);
+    return seed;
+  }
   RepeaterDesign d;
   d.size = sizeOpt.x;
-  d.segmentLength = bestLengthFor(d.size).x;
+  d.segmentLength = lenOpt.x;
   d.delayPerMeter =
       repeaterSegmentDelay(driver, rc, d.size, d.segmentLength) / d.segmentLength;
   return d;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
 
@@ -23,8 +24,8 @@ double subthresholdCurrent(const device::Mosfet& device, double vgs,
          std::pow(10.0, (vgs - vth) / swing) * drainFactor;
 }
 
-double stackIntermediateVoltage(const device::Mosfet& top,
-                                const device::Mosfet& bottom) {
+StackSolveResult stackIntermediateVoltageChecked(const device::Mosfet& top,
+                                                 const device::Mosfet& bottom) {
   const double vdd = top.params().vddReference;
   // Top device: gate 0, source at Vx => vgs = -Vx, vds = Vdd - Vx.
   // Bottom device: gate 0, source gnd => vgs = 0, vds = Vx.
@@ -34,7 +35,33 @@ double stackIntermediateVoltage(const device::Mosfet& top,
   };
   // At vx~0 the top conducts more (full vds, vgs=0 vs bottom vds=0);
   // as vx grows the top's source degeneration chokes it. Bracketed root.
-  return util::bracketAndSolve(mismatch, 1e-6, 0.5 * vdd, 30, 1e-12).x;
+  util::SolveResult r =
+      util::tryBracketAndSolve(mismatch, 1e-6, 0.5 * vdd, 30, 1e-12);
+  if (r.status == util::SolverStatus::BracketFailure) {
+    // Strongly mismatched Vth pairs can push the self-bias point above
+    // Vdd/2; retry across (almost) the whole rail before reporting.
+    r = util::tryBracketAndSolve(mismatch, 1e-9, 0.999 * vdd, 40, 1e-12);
+    if (r.status != util::SolverStatus::BracketFailure) {
+      NANO_OBS_COUNT("power/stack_vx_rebracketed", 1);
+    }
+  }
+  StackSolveResult out;
+  out.vx = r.x;
+  out.diag = r.diagnostics();
+  out.diag.kernel = "power/stack_vx";
+  if (!r.converged) NANO_OBS_COUNT("power/stack_vx_nonconverged", 1);
+  return out;
+}
+
+double stackIntermediateVoltage(const device::Mosfet& top,
+                                const device::Mosfet& bottom) {
+  const StackSolveResult r = stackIntermediateVoltageChecked(top, bottom);
+  if (r.diag.status == util::SolverStatus::BracketFailure ||
+      r.diag.status == util::SolverStatus::NanDetected) {
+    throw std::invalid_argument("stackIntermediateVoltage: " +
+                                r.diag.describe());
+  }
+  return r.vx;
 }
 
 double stackIntermediateVoltage(const device::Mosfet& device) {
@@ -88,13 +115,26 @@ double stackLeakageFactor(const device::Mosfet& device, int depth) {
         // Even at the rail this device cannot carry i: i too large.
         return 1.0;
       }
-      vLow = util::brent(f, vLow + 1e-9, top, 1e-12).x;
+      const util::SolveResult inner =
+          util::tryBracketAndSolve(f, vLow + 1e-9, top, 0, 1e-12);
+      if (inner.status == util::SolverStatus::BracketFailure ||
+          inner.status == util::SolverStatus::NanDetected) {
+        // Same meaning as the rail check above: this rung cannot carry i.
+        return 1.0;
+      }
+      vLow = inner.x;
     }
     return vLow - vdd;  // want the top drain to land exactly on Vdd
   };
-  const double vBottom =
-      util::brent(currentMismatch, 1e-7, 0.5 * vdd, 1e-12).x;
-  return subthresholdCurrent(device, 0.0, vBottom) / single;
+  const util::SolveResult outer =
+      util::tryBracketAndSolve(currentMismatch, 1e-7, 0.5 * vdd, 0, 1e-12);
+  if (outer.status == util::SolverStatus::BracketFailure ||
+      outer.status == util::SolverStatus::NanDetected) {
+    throw std::invalid_argument("stackLeakageFactor: " +
+                                outer.diagnostics().describe());
+  }
+  if (!outer.converged) NANO_OBS_COUNT("power/stack_chain_nonconverged", 1);
+  return subthresholdCurrent(device, 0.0, outer.x) / single;
 }
 
 SleepTransistorDesign sizeSleepTransistor(const tech::TechNode& node,

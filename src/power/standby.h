@@ -14,6 +14,7 @@
 
 #include "device/mosfet.h"
 #include "tech/itrs.h"
+#include "util/numeric.h"
 
 namespace nano::power {
 
@@ -71,6 +72,19 @@ MixedStackReport mixedVthStack(const tech::TechNode& node, double vthLow,
 /// Intermediate node of a 2-stack with distinct top/bottom devices, V.
 double stackIntermediateVoltage(const device::Mosfet& top,
                                 const device::Mosfet& bottom);
+
+/// Structured outcome of a stack solve (kernel "power/stack_vx").
+struct StackSolveResult {
+  double vx = 0.0;           ///< intermediate-node voltage, V
+  util::Diagnostics diag;
+};
+
+/// Checked 2-stack intermediate-node solve: never throws on numerical
+/// failure. Recovery ladder: bracket solve on [1e-6, Vdd/2], one
+/// re-expansion retry spanning nearly the full rail, then report with the
+/// best iterate.
+StackSolveResult stackIntermediateVoltageChecked(const device::Mosfet& top,
+                                                 const device::Mosfet& bottom);
 
 /// Standby-leakage reduction from `reverseBias` volts of reverse body bias
 /// (paper [36]): factor = 10^(bodyEffect * Vbs / swing). Shrinks with

@@ -105,6 +105,7 @@ GridSolution solveGrid(const GridConfig& cfg) {
   sol.cgIterations = cg.iterations;
   sol.cgResidualNorm = cg.residualNorm;
   sol.cgConverged = cg.converged;
+  sol.cgDiagnostics = cg.diagnostics();
   sol.unknowns = nUnknown;
   sol.dropV.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

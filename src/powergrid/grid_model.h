@@ -38,6 +38,9 @@ struct GridSolution {
   int cgIterations = 0;
   double cgResidualNorm = 0.0;  ///< 2-norm of the CG residual at exit
   bool cgConverged = false;
+  /// Structured solver outcome (kernel "powergrid/cg"); distinguishes a
+  /// stalled solve from a poisoned one where dropV is untrustworthy.
+  util::Diagnostics cgDiagnostics;
   std::size_t unknowns = 0;
 };
 

@@ -145,11 +145,20 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
   const double bNorm = std::sqrt(dot(b, b));
 
   // Every exit path below reports the same bookkeeping: iterations
-  // consumed, the residual norm at exit, and the convergence flag.
+  // consumed, the residual norm at exit, the convergence flag, and the
+  // structured status.
   res.residualNorm = bNorm;
   res.converged = bNorm == 0.0;  // x = 0 is exact for b = 0
+  res.status = res.converged ? util::SolverStatus::Converged
+                             : util::SolverStatus::MaxIterations;
 
-  if (!res.converged) {
+  // NaN/Inf guard on the model inputs: a poisoned rhs would otherwise
+  // propagate through every inner product and come back as a "converged"
+  // NaN <= threshold comparison being false forever.
+  if (!std::isfinite(bNorm)) {
+    res.converged = false;
+    res.status = util::SolverStatus::NanDetected;
+  } else if (!res.converged) {
     for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
     p = z;
     double rz = dot(r, z);
@@ -158,14 +167,25 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
     for (int it = 0; it < maxIterations; ++it) {
       a.multiply(p, ap);
       const double alpha = rz / dot(p, ap);
+      if (!std::isfinite(alpha)) {
+        // Preconditioner breakdown (zero diagonal) or a non-finite matrix
+        // entry: stop at the last finite iterate instead of poisoning x.
+        res.status = util::SolverStatus::NanDetected;
+        break;
+      }
       for (std::size_t i = 0; i < n; ++i) {
         res.x[i] += alpha * p[i];
         r[i] -= alpha * ap[i];
       }
       res.iterations = it + 1;
       res.residualNorm = std::sqrt(dot(r, r));
+      if (!std::isfinite(res.residualNorm)) {
+        res.status = util::SolverStatus::NanDetected;
+        break;
+      }
       if (res.residualNorm <= threshold) {
         res.converged = true;
+        res.status = util::SolverStatus::Converged;
         break;
       }
       for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
@@ -180,6 +200,9 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
   NANO_OBS_COUNT("powergrid/cg_iterations", res.iterations);
   NANO_OBS_GAUGE("powergrid/cg_residual", res.residualNorm);
   if (!res.converged) NANO_OBS_COUNT("powergrid/cg_nonconverged", 1);
+  if (res.status == util::SolverStatus::NanDetected) {
+    NANO_OBS_COUNT("powergrid/cg_nan_detected", 1);
+  }
   return res;
 }
 

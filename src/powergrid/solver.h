@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/numeric.h"
+
 namespace nano::powergrid {
 
 /// Symmetric sparse matrix assembled by stamps (duplicate entries add).
@@ -40,15 +42,30 @@ class SparseSpd {
   std::vector<double> diag_;
 };
 
-/// CG result.
+/// CG result. `status` distinguishes tolerance met, iteration budget
+/// exhausted, and a non-finite right-hand side / residual (NanDetected);
+/// on NanDetected `x` is the last finite iterate (all zeros when the
+/// inputs themselves were poisoned).
 struct CgResult {
   std::vector<double> x;
   int iterations = 0;
   double residualNorm = 0.0;
   bool converged = false;
+  util::SolverStatus status = util::SolverStatus::MaxIterations;
+  /// Structured view of the outcome (kernel "powergrid/cg").
+  [[nodiscard]] util::Diagnostics diagnostics() const {
+    util::Diagnostics d;
+    d.status = status;
+    d.iterations = iterations;
+    d.residual = residualNorm;
+    d.kernel = "powergrid/cg";
+    return d;
+  }
 };
 
-/// Solve A x = b with Jacobi-preconditioned CG.
+/// Solve A x = b with Jacobi-preconditioned CG. Never throws on numerical
+/// failure (structural misuse — unfinalized matrix, size mismatch — still
+/// throws); inspect `status` instead.
 CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
                  double relTolerance = 1e-9, int maxIterations = 20000);
 

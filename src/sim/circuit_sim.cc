@@ -129,6 +129,8 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
 
   int newtonIterations = 0;
   bool newtonConverged = false;
+  bool nanDetected = false;
+  double lastWorst = 0.0;
   for (int iter = 0; iter < options_.maxNewton; ++iter) {
     sys.clear();
     // gmin to ground for numerical robustness.
@@ -215,6 +217,23 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
     }
 
     const std::vector<double> x = sys.solve();
+    // NaN/Inf guard on the linear-solve output: a singular or poisoned
+    // Jacobian must not overwrite the last finite iterate (per-point
+    // recovery: the caller keeps the previous timestep's voltages).
+    bool solveFinite = true;
+    for (std::size_t k = 0; k < unknowns; ++k) {
+      if (!std::isfinite(x[k])) {
+        solveFinite = false;
+        break;
+      }
+    }
+    newtonIterations = iter + 1;
+    if (!solveFinite) {
+      nanDetected = true;
+      state.v = prev.v;
+      state.branch = prev.branch;
+      break;
+    }
     double worst = 0.0;
     for (std::size_t n = 1; n < nNodes; ++n) {
       double update = x[n - 1] - state.v[n];
@@ -225,15 +244,23 @@ Simulator::SolveState Simulator::newtonSolve(double t, double dt,
     for (std::size_t k = 0; k < nV + nL; ++k) {
       state.branch[k] = x[(nNodes - 1) + k];
     }
-    newtonIterations = iter + 1;
+    lastWorst = worst;
     if (worst < options_.vTolerance) {
       newtonConverged = true;
       break;
     }
   }
+  lastSolve_ = util::Diagnostics{};
+  lastSolve_.kernel = "sim/newton";
+  lastSolve_.iterations = newtonIterations;
+  lastSolve_.residual = lastWorst;
+  lastSolve_.status = nanDetected ? util::SolverStatus::NanDetected
+                     : newtonConverged ? util::SolverStatus::Converged
+                                       : util::SolverStatus::MaxIterations;
   NANO_OBS_COUNT("sim/newton_iterations", newtonIterations);
   NANO_OBS_COUNT("sim/newton_solves", 1);
   if (!newtonConverged) NANO_OBS_COUNT("sim/newton_nonconverged", 1);
+  if (nanDetected) NANO_OBS_COUNT("sim/newton_nan_detected", 1);
 
   state.capCurrent.assign(caps_.size(), 0.0);
   if (transientMode) {
@@ -272,16 +299,39 @@ TransientResult Simulator::transient(double tStop, double dt) {
   SolveState state = newtonSolve(0.0, -1.0, zero);
   state.capCurrent.assign(caps_.size(), 0.0);
 
+  // Rank solves: NanDetected outranks everything, then the non-converged
+  // step with the largest exit residual, then the largest converged one.
+  auto severity = [](const util::Diagnostics& d) {
+    return d.status == util::SolverStatus::NanDetected ? 2
+           : d.ok()                                    ? 0
+                                                       : 1;
+  };
+  auto fold = [&](TransientResult& out) {
+    if (!lastSolve_.ok()) ++out.nonconvergedSteps;
+    const int sNew = severity(lastSolve_);
+    const int sOld = severity(out.worstStep);
+    if (sNew > sOld ||
+        (sNew == sOld && lastSolve_.residual > out.worstStep.residual)) {
+      out.worstStep = lastSolve_;
+    }
+  };
+  res.worstStep = lastSolve_;
+  if (!lastSolve_.ok()) res.nonconvergedSteps = 1;
+
   res.time.push_back(0.0);
   res.voltages.push_back(state.v);
   res.branchCurrents.push_back(state.branch);
   for (double t = dt; t <= tStop + 0.5 * dt; t += dt) {
     state = newtonSolve(t, dt, state);
+    fold(res);
     res.time.push_back(t);
     res.voltages.push_back(state.v);
     res.branchCurrents.push_back(state.branch);
   }
   NANO_OBS_COUNT("sim/timesteps", static_cast<std::int64_t>(res.time.size()) - 1);
+  if (res.nonconvergedSteps > 0) {
+    NANO_OBS_COUNT("sim/transient_nonconverged_steps", res.nonconvergedSteps);
+  }
   return res;
 }
 

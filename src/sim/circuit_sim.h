@@ -8,6 +8,7 @@
 
 #include "sim/elements.h"
 #include "sim/mna.h"
+#include "util/numeric.h"
 
 namespace nano::sim {
 
@@ -58,6 +59,13 @@ struct TransientResult {
   /// Branch currents per step: first the voltage sources (current flowing
   /// pos -> neg through the source), then the inductors (a -> b).
   std::vector<std::vector<double>> branchCurrents;
+  /// Timesteps whose Newton solve did not reach vTolerance (the step is
+  /// still recorded with its best iterate).
+  int nonconvergedSteps = 0;
+  /// Diagnostics of the worst solve in the run: the first NanDetected step
+  /// if any, else the non-converged step with the largest exit residual,
+  /// else the converged step with the largest exit residual.
+  util::Diagnostics worstStep;
 
   /// Voltage of `node` at time t (linear interpolation).
   [[nodiscard]] double at(int node, double t) const;
@@ -90,6 +98,13 @@ class Simulator {
   /// Fixed-step trapezoidal transient from the DC point at t = 0.
   TransientResult transient(double tStop, double dt);
 
+  /// Diagnostics of the most recent Newton solve (kernel "sim/newton"):
+  /// status Converged / MaxIterations / NanDetected, Newton iterations
+  /// consumed, and the worst node-voltage update at exit as the residual.
+  [[nodiscard]] const util::Diagnostics& lastSolveDiagnostics() const {
+    return lastSolve_;
+  }
+
  private:
   struct SolveState {
     std::vector<double> v;             ///< node voltages
@@ -105,6 +120,8 @@ class Simulator {
   SimOptions options_;
   /// Explicit capacitors plus per-MOSFET intrinsic parasitics.
   std::vector<Capacitor> caps_;
+  /// Outcome of the most recent newtonSolve().
+  util::Diagnostics lastSolve_;
 };
 
 }  // namespace nano::sim

@@ -21,8 +21,25 @@ inline std::string formatCsvDouble(double v) {
   return buf;
 }
 
+/// RFC-4180 cell encoding: cells containing a comma, double quote, CR or
+/// LF are wrapped in double quotes with embedded quotes doubled. Plain
+/// cells pass through unchanged, so numeric output stays byte-identical.
+inline std::string escapeCsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 /// Streams rows of doubles/strings to a CSV file. The header row fixes the
-/// column count; mismatched rows throw.
+/// column count; mismatched rows throw. String cells are quoted/escaped
+/// per RFC 4180 whenever they contain a delimiter, quote, or newline.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> header)
@@ -48,7 +65,7 @@ class CsvWriter {
   void writeCells(const std::vector<std::string>& cells) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i) out_ << ',';
-      out_ << cells[i];
+      out_ << escapeCsvCell(cells[i]);
     }
     out_ << '\n';
   }

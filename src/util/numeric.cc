@@ -2,31 +2,104 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace nano::util {
 
 namespace {
+
 bool sameSign(double a, double b) { return (a > 0) == (b > 0); }
+
+bool finite(double v) { return std::isfinite(v); }
+
+/// Shared failure exit: classic (throwing) wrappers translate the
+/// structured statuses back into the historical exception contract.
+SolveResult orThrow(SolveResult r, const char* what) {
+  if (r.status == SolverStatus::BracketFailure ||
+      r.status == SolverStatus::NanDetected) {
+    throw std::invalid_argument(std::string(what) + ": " +
+                                solverStatusName(r.status));
+  }
+  return r;
+}
+
 }  // namespace
 
-SolveResult bisect(const std::function<double(double)>& f, double lo, double hi,
-                   double xtol, int maxIter) {
+const char* solverStatusName(SolverStatus status) {
+  switch (status) {
+    case SolverStatus::Converged: return "converged";
+    case SolverStatus::MaxIterations: return "max-iterations";
+    case SolverStatus::BracketFailure: return "bracket-failure";
+    case SolverStatus::NanDetected: return "nan-detected";
+  }
+  return "unknown";
+}
+
+std::string Diagnostics::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s: %s after %d iterations, residual %.3g",
+                kernel[0] ? kernel : "solver", solverStatusName(status),
+                iterations, residual);
+  return buf;
+}
+
+Diagnostics SolveResult::diagnostics() const {
+  Diagnostics d;
+  d.status = status;
+  d.iterations = iterations;
+  d.residual = std::abs(fx);
+  d.kernel = kernel;
+  return d;
+}
+
+SolveResult tryBisect(const std::function<double(double)>& f, double lo,
+                      double hi, double xtol, int maxIter) {
+  SolveResult r;
+  r.kernel = "bisect";
+  if (!finite(lo) || !finite(hi)) {
+    r.x = lo;
+    r.fx = std::nan("");
+    r.status = SolverStatus::NanDetected;
+    return r;
+  }
   double flo = f(lo);
   double fhi = f(hi);
-  if (flo == 0.0) return {lo, 0.0, 0, true};
-  if (fhi == 0.0) return {hi, 0.0, 0, true};
-  if (sameSign(flo, fhi)) {
-    throw std::invalid_argument("bisect: interval does not bracket a root");
+  if (!finite(flo) || !finite(fhi)) {
+    r.x = finite(flo) ? hi : lo;
+    r.fx = finite(flo) ? fhi : flo;
+    r.status = SolverStatus::NanDetected;
+    return r;
   }
-  SolveResult r;
+  auto exact = [&](double x) {
+    r.x = x;
+    r.fx = 0.0;
+    r.converged = true;
+    r.status = SolverStatus::Converged;
+    return r;
+  };
+  if (flo == 0.0) return exact(lo);
+  if (fhi == 0.0) return exact(hi);
+  if (sameSign(flo, fhi)) {
+    r.x = std::abs(flo) < std::abs(fhi) ? lo : hi;
+    r.fx = std::abs(flo) < std::abs(fhi) ? flo : fhi;
+    r.status = SolverStatus::BracketFailure;
+    return r;
+  }
   for (int i = 0; i < maxIter; ++i) {
     const double mid = 0.5 * (lo + hi);
     const double fmid = f(mid);
     r.iterations = i + 1;
+    if (!finite(fmid)) {
+      r.x = mid;
+      r.fx = fmid;
+      r.status = SolverStatus::NanDetected;
+      return r;
+    }
     if (fmid == 0.0 || (hi - lo) < xtol) {
       r.x = mid;
       r.fx = fmid;
       r.converged = true;
+      r.status = SolverStatus::Converged;
       return r;
     }
     if (sameSign(flo, fmid)) {
@@ -39,17 +112,48 @@ SolveResult bisect(const std::function<double(double)>& f, double lo, double hi,
   r.x = 0.5 * (lo + hi);
   r.fx = f(r.x);
   r.converged = (hi - lo) < xtol;
+  r.status = r.converged ? SolverStatus::Converged : SolverStatus::MaxIterations;
   return r;
 }
 
-SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
-                  double xtol, int maxIter) {
+SolveResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                   double xtol, int maxIter) {
+  return orThrow(tryBisect(f, lo, hi, xtol, maxIter),
+                 "bisect: interval does not bracket a root");
+}
+
+SolveResult tryBrent(const std::function<double(double)>& f, double lo,
+                     double hi, double xtol, int maxIter) {
+  SolveResult r;
+  r.kernel = "brent";
+  if (!finite(lo) || !finite(hi)) {
+    r.x = lo;
+    r.fx = std::nan("");
+    r.status = SolverStatus::NanDetected;
+    return r;
+  }
   double a = lo, b = hi;
   double fa = f(a), fb = f(b);
-  if (fa == 0.0) return {a, 0.0, 0, true};
-  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!finite(fa) || !finite(fb)) {
+    r.x = finite(fa) ? b : a;
+    r.fx = finite(fa) ? fb : fa;
+    r.status = SolverStatus::NanDetected;
+    return r;
+  }
+  auto exact = [&](double x) {
+    r.x = x;
+    r.fx = 0.0;
+    r.converged = true;
+    r.status = SolverStatus::Converged;
+    return r;
+  };
+  if (fa == 0.0) return exact(a);
+  if (fb == 0.0) return exact(b);
   if (sameSign(fa, fb)) {
-    throw std::invalid_argument("brent: interval does not bracket a root");
+    r.x = std::abs(fa) < std::abs(fb) ? a : b;
+    r.fx = std::abs(fa) < std::abs(fb) ? fa : fb;
+    r.status = SolverStatus::BracketFailure;
+    return r;
   }
   if (std::abs(fa) < std::abs(fb)) {
     std::swap(a, b);
@@ -58,13 +162,13 @@ SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
   double c = a, fc = fa;
   double d = b - a;  // last step when bisection used
   bool mflag = true;
-  SolveResult r;
   for (int i = 0; i < maxIter; ++i) {
     r.iterations = i + 1;
     if (fb == 0.0 || std::abs(b - a) < xtol) {
       r.x = b;
       r.fx = fb;
       r.converged = true;
+      r.status = SolverStatus::Converged;
       return r;
     }
     double s;
@@ -88,6 +192,13 @@ SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
       mflag = false;
     }
     const double fs = f(s);
+    if (!finite(fs)) {
+      // Report the best bracketed iterate, not the poisoned probe point.
+      r.x = b;
+      r.fx = fb;
+      r.status = SolverStatus::NanDetected;
+      return r;
+    }
     d = c;
     c = b;
     fc = fb;
@@ -106,15 +217,64 @@ SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
   r.x = b;
   r.fx = fb;
   r.converged = false;
+  r.status = SolverStatus::MaxIterations;
   return r;
 }
 
-SolveResult bracketAndSolve(const std::function<double(double)>& f, double lo,
-                            double hi, int maxExpand, double xtol) {
+SolveResult brent(const std::function<double(double)>& f, double lo, double hi,
+                  double xtol, int maxIter) {
+  return orThrow(tryBrent(f, lo, hi, xtol, maxIter),
+                 "brent: interval does not bracket a root");
+}
+
+SolveResult tryBracketAndSolve(const std::function<double(double)>& f,
+                               double lo, double hi, int maxExpand,
+                               double xtol, int maxIter) {
+  SolveResult r;
+  r.kernel = "bracketAndSolve";
+  if (!finite(lo) || !finite(hi)) {
+    r.x = lo;
+    r.fx = std::nan("");
+    r.status = SolverStatus::NanDetected;
+    return r;
+  }
+  if (hi < lo) std::swap(lo, hi);
+  if (hi == lo) {
+    // Degenerate interval: give the expansion a finite width to double.
+    hi = lo + std::max(1e-12, std::abs(lo) * 1e-9);
+  }
   double flo = f(lo);
   double fhi = f(hi);
   int expansions = 0;
-  while (sameSign(flo, fhi) && expansions < maxExpand) {
+  auto exact = [&](double x) {
+    r.x = x;
+    r.fx = 0.0;
+    r.iterations = expansions;
+    r.converged = true;
+    r.status = SolverStatus::Converged;
+    return r;
+  };
+  while (true) {
+    if (!finite(flo) || !finite(fhi)) {
+      r.x = finite(flo) ? hi : lo;
+      r.fx = finite(flo) ? fhi : flo;
+      r.iterations = expansions;
+      r.status = SolverStatus::NanDetected;
+      return r;
+    }
+    // An expansion step can land exactly on a root; sameSign() classifies
+    // an exact zero as negative, so without this check the loop either
+    // expands past the root or gives up with "failed to bracket".
+    if (flo == 0.0) return exact(lo);
+    if (fhi == 0.0) return exact(hi);
+    if (!sameSign(flo, fhi)) break;
+    if (expansions >= maxExpand) {
+      r.x = std::abs(flo) < std::abs(fhi) ? lo : hi;
+      r.fx = std::abs(flo) < std::abs(fhi) ? flo : fhi;
+      r.iterations = expansions;
+      r.status = SolverStatus::BracketFailure;
+      return r;
+    }
     const double width = hi - lo;
     // Expand the side whose value is smaller in magnitude (closer to the
     // root, so grow away from it less aggressively).
@@ -127,20 +287,58 @@ SolveResult bracketAndSolve(const std::function<double(double)>& f, double lo,
     }
     ++expansions;
   }
-  if (sameSign(flo, fhi)) {
-    throw std::invalid_argument("bracketAndSolve: failed to bracket a root");
+  r = tryBrent(f, lo, hi, xtol, maxIter);
+  r.kernel = "bracketAndSolve";
+  r.iterations += expansions;
+  if (r.status == SolverStatus::MaxIterations) {
+    // Recovery ladder: a stalled Brent solve still holds a valid bracket,
+    // and plain bisection is guaranteed to shrink it.
+    SolveResult fallback =
+        tryBisect(f, lo, hi, xtol, std::max(2 * maxIter, 200));
+    fallback.kernel = "bracketAndSolve";
+    fallback.iterations += r.iterations;
+    if (fallback.status == SolverStatus::Converged) return fallback;
+    if (std::abs(fallback.fx) < std::abs(r.fx)) {
+      fallback.status = SolverStatus::MaxIterations;
+      return fallback;
+    }
   }
-  return brent(f, lo, hi, xtol);
+  return r;
 }
 
-SolveResult minimizeGolden(const std::function<double(double)>& f, double lo,
-                           double hi, double xtol, int maxIter) {
+SolveResult bracketAndSolve(const std::function<double(double)>& f, double lo,
+                            double hi, int maxExpand, double xtol) {
+  return orThrow(tryBracketAndSolve(f, lo, hi, maxExpand, xtol),
+                 "bracketAndSolve: failed to bracket a root");
+}
+
+SolveResult tryMinimizeGolden(const std::function<double(double)>& f,
+                              double lo, double hi, double xtol, int maxIter) {
   constexpr double invPhi = 0.6180339887498949;
+  SolveResult r;
+  r.kernel = "minimizeGolden";
+  if (!finite(lo) || !finite(hi)) {
+    r.x = lo;
+    r.fx = std::nan("");
+    r.status = SolverStatus::NanDetected;
+    return r;
+  }
   double a = lo, b = hi;
   double x1 = b - invPhi * (b - a);
   double x2 = a + invPhi * (b - a);
   double f1 = f(x1), f2 = f(x2);
-  SolveResult r;
+  auto poisoned = [&]() {
+    // Keep the best finite probe; the caller decides how to recover.
+    r.x = finite(f1) ? x1 : x2;
+    r.fx = finite(f1) ? f1 : f2;
+    if (!finite(r.fx)) {
+      r.x = 0.5 * (a + b);
+      r.fx = std::nan("");
+    }
+    r.status = SolverStatus::NanDetected;
+    return r;
+  };
+  if (!finite(f1) || !finite(f2)) return poisoned();
   for (int i = 0; i < maxIter && (b - a) > xtol; ++i) {
     r.iterations = i + 1;
     if (f1 < f2) {
@@ -149,18 +347,27 @@ SolveResult minimizeGolden(const std::function<double(double)>& f, double lo,
       f2 = f1;
       x1 = b - invPhi * (b - a);
       f1 = f(x1);
+      if (!finite(f1)) return poisoned();
     } else {
       a = x1;
       x1 = x2;
       f1 = f2;
       x2 = a + invPhi * (b - a);
       f2 = f(x2);
+      if (!finite(f2)) return poisoned();
     }
   }
   r.x = 0.5 * (a + b);
   r.fx = f(r.x);
   r.converged = (b - a) <= xtol;
+  r.status = r.converged ? SolverStatus::Converged : SolverStatus::MaxIterations;
   return r;
+}
+
+SolveResult minimizeGolden(const std::function<double(double)>& f, double lo,
+                           double hi, double xtol, int maxIter) {
+  return orThrow(tryMinimizeGolden(f, lo, hi, xtol, maxIter),
+                 "minimizeGolden: non-finite evaluation");
 }
 
 LinearInterpolator::LinearInterpolator(std::vector<double> xs,
@@ -177,7 +384,10 @@ LinearInterpolator::LinearInterpolator(std::vector<double> xs,
 }
 
 double LinearInterpolator::operator()(double x) const {
-  // Segment selection with clamped extrapolation from the end segments.
+  // Clamped extrapolation: outside the table the end value holds, so
+  // roadmap lookups past the last node can never run negative.
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
   auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
   std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
   if (hi == 0) hi = 1;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace nano::device {
@@ -203,6 +205,65 @@ TEST(VthSolver, Vdd07CutsIoffNearly7x) {
                        Mosfet::fromNode(node, at07).ioff();
   EXPECT_GT(ratio, 4.0);
   EXPECT_LT(ratio, 10.0);  // paper: "nearly 7x"
+}
+
+TEST(VthSolverChecked, ConvergedDiagnosticsMatchThrowingSolve) {
+  const auto& node = nodeByFeature(100);
+  const VthSolveResult r = solveVthForIonChecked(node, node.ionTarget);
+  EXPECT_TRUE(r.diag.ok());
+  EXPECT_GT(r.diag.iterations, 0);
+  EXPECT_STREQ(r.diag.kernel, "device/solve_vth");
+  EXPECT_DOUBLE_EQ(r.vth, solveVthForIon(node, node.ionTarget));
+}
+
+TEST(VthSolverChecked, NanTargetReportsNanDetected) {
+  const auto& node = nodeByFeature(100);
+  obs::MetricsRegistry::instance().reset();
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  const VthSolveResult r =
+      solveVthForIonChecked(node, std::nan(""));
+  obs::setEnabled(wasEnabled);
+  EXPECT_EQ(r.diag.status, util::SolverStatus::NanDetected);
+  EXPECT_TRUE(std::isnan(r.vth));
+  EXPECT_EQ(obs::MetricsRegistry::instance()
+                .counter("device/vth_solve_nonconverged")
+                .value(),
+            1);
+  // The throwing wrapper surfaces the same failure as the historical
+  // exception type instead of returning the NaN.
+  EXPECT_THROW(solveVthForIon(node, std::nan("")), std::invalid_argument);
+}
+
+TEST(VthSolverChecked, NonFiniteVddReportsNanDetected) {
+  const auto& node = nodeByFeature(100);
+  const VthSolveResult r = solveVthForIonChecked(
+      node, node.ionTarget, GateStack::Poly,
+      std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.diag.status, util::SolverStatus::NanDetected);
+}
+
+TEST(VthSolverChecked, ForcedMaxIterReportsIterationCount) {
+  const auto& node = nodeByFeature(100);
+  VthSolveOptions opt;
+  opt.xtol = 0.0;   // unreachable tolerance
+  opt.maxIter = 1;  // starve Brent and the bisection fallback alike
+  const VthSolveResult r = solveVthForIonChecked(
+      node, node.ionTarget, GateStack::Poly, -1.0, 300.0, opt);
+  EXPECT_EQ(r.diag.status, util::SolverStatus::MaxIterations);
+  EXPECT_GT(r.diag.iterations, 0);
+  // The best iterate is still a usable Vth, not a poisoned value.
+  EXPECT_TRUE(std::isfinite(r.vth));
+  EXPECT_NEAR(r.vth, solveVthForIon(node, node.ionTarget), 0.05);
+}
+
+TEST(VthSolverChecked, UnreachableTargetReportsBracketFailure) {
+  // Ion is non-negative at every Vth, so a negative target can never
+  // bracket — not even after the wide-bracket retry.
+  const auto& node = nodeByFeature(100);
+  const VthSolveResult r = solveVthForIonChecked(node, -1.0);
+  EXPECT_EQ(r.diag.status, util::SolverStatus::BracketFailure);
+  EXPECT_THROW(solveVthForIon(node, -1.0), std::invalid_argument);
 }
 
 TEST(Validation, RejectsBadParams) {

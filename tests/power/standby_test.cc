@@ -179,6 +179,18 @@ TEST(BodyBias, RejectsNegativeBias) {
                std::invalid_argument);
 }
 
+TEST(StackSolveChecked, ConvergedDiagnosticsMatchThrowingSolve) {
+  const auto dev = solvedDevice(100);
+  const StackSolveResult r = stackIntermediateVoltageChecked(dev, dev);
+  EXPECT_TRUE(r.diag.ok());
+  EXPECT_GT(r.diag.iterations, 0);
+  EXPECT_STREQ(r.diag.kernel, "power/stack_vx");
+  EXPECT_DOUBLE_EQ(r.vx, stackIntermediateVoltage(dev, dev));
+  // The intermediate node sits strictly inside the rail.
+  EXPECT_GT(r.vx, 0.0);
+  EXPECT_LT(r.vx, dev.params().vddReference);
+}
+
 TEST(LinearConductance, PositiveAndIncreasingInVgs) {
   const auto dev = solvedDevice(100);
   const double g1 = dev.linearConductance(0.8);

@@ -2,8 +2,53 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace nano::powergrid {
 namespace {
+
+SparseSpd identity2() {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  a.addDiagonal(1, 1.0);
+  a.finalize();
+  return a;
+}
+
+TEST(CgStatus, ConvergedSolveReportsStatus) {
+  const CgResult r = solveCg(identity2(), {1.0, 2.0});
+  EXPECT_EQ(r.status, util::SolverStatus::Converged);
+  const util::Diagnostics d = r.diagnostics();
+  EXPECT_TRUE(d.ok());
+  EXPECT_STREQ(d.kernel, "powergrid/cg");
+  EXPECT_EQ(d.iterations, r.iterations);
+}
+
+TEST(CgStatus, NanRhsReturnsZerosNotPoison) {
+  const CgResult r = solveCg(identity2(), {std::nan(""), 1.0});
+  EXPECT_EQ(r.status, util::SolverStatus::NanDetected);
+  EXPECT_FALSE(r.converged);
+  ASSERT_EQ(r.x.size(), 2u);
+  // Per-point recovery: the last finite iterate (the zero start vector),
+  // never the poisoned values.
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+}
+
+TEST(CgStatus, IterationBudgetExhaustionReportsMaxIterations) {
+  // A 2x2 SPD system needs 2 CG iterations; 1 cannot meet 1e-12.
+  SparseSpd a(2);
+  a.addDiagonal(0, 2.0);
+  a.addDiagonal(1, 1.0);
+  a.addOffDiagonal(0, 1, -1.0);
+  a.finalize();
+  const CgResult r = solveCg(a, {0.0, 1.0}, 1e-12, 1);
+  EXPECT_EQ(r.status, util::SolverStatus::MaxIterations);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_TRUE(std::isfinite(r.x[0]));
+  EXPECT_TRUE(std::isfinite(r.x[1]));
+}
 
 TEST(SparseSpd, SolvesDiagonalSystem) {
   SparseSpd a(3);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace nano::sim {
@@ -125,6 +128,92 @@ TEST(Circuit, AddMosfetWithoutModelThrows) {
   MosfetElement m;
   m.model = nullptr;
   EXPECT_THROW(ckt.add(m), std::invalid_argument);
+}
+
+Circuit midRailInverter(const tech::TechNode& node) {
+  const double vth = device::solveVthForIon(node, node.ionTarget);
+  auto model = std::make_shared<device::Mosfet>(
+      device::Mosfet::fromNode(node, vth));
+  Circuit ckt;
+  const int vdd = ckt.node();
+  const int in = ckt.node();
+  const int out = ckt.node();
+  ckt.add(VoltageSource{vdd, 0, Waveform::dc(node.vdd)});
+  ckt.add(VoltageSource{in, 0, Waveform::dc(0.5 * node.vdd)});
+  ckt.addInverter(in, out, vdd, model, 0.4e-6, 0.8e-6);
+  return ckt;
+}
+
+TEST(Simulator, NewtonExhaustionReportsDiagnostics) {
+  // One Newton iteration on a nonlinear circuit: the damped update (0.3 V
+  // clamp) cannot reach the 1e-7 V tolerance, so the solve must exit with
+  // a MaxIterations diagnostic instead of a silent bad answer.
+  SimOptions opt;
+  opt.maxNewton = 1;
+  // The simulator keeps a pointer to the circuit: it must outlive the sim.
+  const Circuit ckt = midRailInverter(tech::nodeByFeature(100));
+  Simulator sim(ckt, opt);
+
+  obs::MetricsRegistry::instance().reset();
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  sim.dcOperatingPoint();
+  obs::setEnabled(wasEnabled);
+
+  const util::Diagnostics& d = sim.lastSolveDiagnostics();
+  EXPECT_EQ(d.status, util::SolverStatus::MaxIterations);
+  EXPECT_EQ(d.iterations, 1);
+  EXPECT_GE(d.residual, opt.vTolerance);
+  EXPECT_STREQ(d.kernel, "sim/newton");
+  EXPECT_EQ(obs::MetricsRegistry::instance()
+                .counter("sim/newton_nonconverged")
+                .value(),
+            1);
+}
+
+TEST(Simulator, TransientCountsNonconvergedSteps) {
+  SimOptions opt;
+  opt.maxNewton = 1;
+  const Circuit ckt = midRailInverter(tech::nodeByFeature(100));
+  Simulator sim(ckt, opt);
+  const TransientResult tr = sim.transient(10 * ps, 1 * ps);
+  EXPECT_GT(tr.nonconvergedSteps, 0);
+  EXPECT_EQ(tr.worstStep.status, util::SolverStatus::MaxIterations);
+  EXPECT_STREQ(tr.worstStep.kernel, "sim/newton");
+  // Every recorded waveform sample stays finite: the best iterate is kept,
+  // never a poisoned one.
+  for (const auto& step : tr.voltages) {
+    for (double v : step) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Simulator, NanSourceRecoversPreviousState) {
+  Circuit ckt;
+  const int n = ckt.node();
+  ckt.add(VoltageSource{n, 0, Waveform::dc(std::nan(""))});
+  ckt.add(Resistor{n, 0, 1000.0});
+  Simulator sim(ckt);
+  const auto v = sim.dcOperatingPoint();
+  EXPECT_EQ(sim.lastSolveDiagnostics().status,
+            util::SolverStatus::NanDetected);
+  // Per-point recovery: the previous (zero) state survives, the NaN does
+  // not leak into the reported voltages.
+  EXPECT_TRUE(std::isfinite(v[static_cast<std::size_t>(n)]));
+}
+
+TEST(Simulator, ConvergedSolveReportsCleanDiagnostics) {
+  Circuit ckt;
+  const int top = ckt.node();
+  const int mid = ckt.node();
+  ckt.add(VoltageSource{top, 0, Waveform::dc(2.0)});
+  ckt.add(Resistor{top, mid, 1000.0});
+  ckt.add(Resistor{mid, 0, 1000.0});
+  Simulator sim(ckt);
+  sim.dcOperatingPoint();
+  const util::Diagnostics& d = sim.lastSolveDiagnostics();
+  EXPECT_TRUE(d.ok());
+  EXPECT_GT(d.iterations, 0);
+  EXPECT_LT(d.residual, 1e-7);
 }
 
 TEST(TransientResult, CrossingDetectsDirection) {

@@ -117,6 +117,31 @@ TEST(Ssta, MarginSigmasInvertsNormal) {
   EXPECT_THROW(marginSigmasForYield(1.0), std::invalid_argument);
 }
 
+TEST(Ssta, MarginSigmasCheckedReportsStatus) {
+  const YieldMargin ok = marginSigmasForYieldChecked(0.5);
+  EXPECT_TRUE(ok.diag.ok());
+  EXPECT_NEAR(ok.sigmas, 0.0, 1e-6);
+  EXPECT_STREQ(ok.diag.kernel, "sta/yield_margin");
+
+  // A NaN yield slips through `yield <= 0 || yield >= 1` (every comparison
+  // with NaN is false); the checked path must classify it explicitly.
+  const YieldMargin nan = marginSigmasForYieldChecked(std::nan(""));
+  EXPECT_EQ(nan.diag.status, util::SolverStatus::NanDetected);
+  EXPECT_THROW(marginSigmasForYield(std::nan("")), std::invalid_argument);
+
+  EXPECT_EQ(marginSigmasForYieldChecked(0.0).diag.status,
+            util::SolverStatus::BracketFailure);
+  EXPECT_EQ(marginSigmasForYieldChecked(1.0).diag.status,
+            util::SolverStatus::BracketFailure);
+}
+
+TEST(Ssta, RejectsNanSensitivity) {
+  const Netlist nl = circuit::inverterChain(lib(), 2);
+  SstaOptions opt;
+  opt.delaySensitivity = std::nan("");
+  EXPECT_THROW(analyzeStatistical(nl, node70(), opt), std::invalid_argument);
+}
+
 TEST(Ssta, RejectsNegativeSensitivity) {
   const Netlist nl = circuit::inverterChain(lib(), 2);
   SstaOptions opt;

@@ -78,6 +78,83 @@ TEST_F(CsvTest, FormatCsvDoubleRoundTrips) {
   }
 }
 
+TEST_F(CsvTest, EscapeCsvCellQuotesSpecials) {
+  EXPECT_EQ(escapeCsvCell("plain"), "plain");
+  EXPECT_EQ(escapeCsvCell("3.14"), "3.14");
+  EXPECT_EQ(escapeCsvCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(escapeCsvCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(escapeCsvCell("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(escapeCsvCell("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(escapeCsvCell(""), "");
+}
+
+// Minimal RFC-4180 parser (quotes, doubled quotes, embedded newlines) used
+// only to prove the writer's output round-trips; the repo has no reader.
+std::vector<std::vector<std::string>> parseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"' && cell.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      cell.push_back(c);
+    }
+  }
+  return rows;
+}
+
+TEST_F(CsvTest, Rfc4180RoundTrip) {
+  const std::vector<std::string> header = {"name", "note"};
+  const std::vector<std::vector<std::string>> payload = {
+      {"plain", "no specials"},
+      {"comma, separated", "a,b,c"},
+      {"quote \"inner\"", "\"leading and trailing\""},
+      {"multi\nline", "cr\rcell"},
+      {"", ",\"\n mixed \"\" everything"},
+  };
+  {
+    CsvWriter w(path_, header);
+    for (const auto& row : payload) w.row(row);
+  }
+  const auto rows = parseCsv(slurp(path_));
+  ASSERT_EQ(rows.size(), payload.size() + 1);
+  EXPECT_EQ(rows[0], header);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(rows[i + 1], payload[i]) << "row " << i;
+  }
+}
+
+TEST_F(CsvTest, QuotedHeaderCells) {
+  {
+    CsvWriter w(path_, {"vdd (V)", "delay, ps"});
+    w.row(std::vector<double>{1.2, 42.0});
+  }
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("vdd (V),\"delay, ps\"\n"), std::string::npos);
+}
+
 TEST_F(CsvTest, LineCountMatchesRows) {
   {
     CsvWriter w(path_, {"v"});

@@ -1,0 +1,122 @@
+// Fault-injection harness for the iterative kernels: wraps a scalar
+// function and perturbs or poisons what the solver sees, so every failure
+// path (NaN-detected, bracket-failure, forced max-iter) is exercised by
+// tests instead of waiting for a pathological tech node.
+//
+//   FaultyFn f = FaultyFn::nanAfter([](double x) { return x - 2.0; }, 3);
+//   auto r = util::tryBracketAndSolve(f.fn(), 0.0, 1.0);
+//   EXPECT_EQ(r.status, util::SolverStatus::NanDetected);
+//   EXPECT_GE(f.calls(), 4);
+//
+// The harness is header-only and test-only; production code never sees it.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace nano::testing {
+
+/// A scalar function with an injected fault. Copyable; copies share the
+/// call counter so a wrapped lambda can be handed to a solver by value.
+class FaultyFn {
+ public:
+  /// No fault: pass-through with call counting (baseline for tests).
+  static FaultyFn passthrough(std::function<double(double)> inner) {
+    FaultyFn f(std::move(inner));
+    return f;
+  }
+
+  /// Returns NaN on every evaluation after the first `calls` (0 poisons
+  /// the very first call): models a device model blowing up mid-solve.
+  static FaultyFn nanAfter(std::function<double(double)> inner, int calls) {
+    FaultyFn f(std::move(inner));
+    auto state = f.state_;
+    auto fn = f.inner_;
+    f.apply_ = [state, fn, calls](double x) {
+      return state->calls > calls ? std::nan("") : fn(x);
+    };
+    return f;
+  }
+
+  /// Returns NaN whenever x lands inside [lo, hi]: models a poisoned
+  /// region of the input domain (log of a negative number, 0/0, ...).
+  static FaultyFn nanInRange(std::function<double(double)> inner, double lo,
+                             double hi) {
+    FaultyFn f(std::move(inner));
+    auto fn = f.inner_;
+    f.apply_ = [fn, lo, hi](double x) {
+      return (x >= lo && x <= hi) ? std::nan("") : fn(x);
+    };
+    return f;
+  }
+
+  /// Flips the sign of every value: breaks monotonicity assumptions and
+  /// turns a good bracket into a mirror-image one.
+  static FaultyFn signFlip(std::function<double(double)> inner) {
+    FaultyFn f(std::move(inner));
+    auto fn = f.inner_;
+    f.apply_ = [fn](double x) { return -fn(x); };
+    return f;
+  }
+
+  /// Ignores the input and always returns `value`: with value != 0 no
+  /// bracket can ever form (degenerate / rootless function).
+  static FaultyFn constant(double value) {
+    FaultyFn f([](double) { return 0.0; });
+    f.apply_ = [value](double) { return value; };
+    return f;
+  }
+
+  /// Adds a tiny deterministic oscillation scaled by `amplitude`: the root
+  /// stays put to ~amplitude but smooth-convergence steps (secant/IQI)
+  /// keep being contradicted, forcing solvers onto their fallback paths.
+  static FaultyFn jitter(std::function<double(double)> inner,
+                         double amplitude) {
+    FaultyFn f(std::move(inner));
+    auto state = f.state_;
+    auto fn = f.inner_;
+    f.apply_ = [state, fn, amplitude](double x) {
+      const double wiggle = (state->calls % 2 == 0) ? amplitude : -amplitude;
+      return fn(x) + wiggle;
+    };
+    return f;
+  }
+
+  double operator()(double x) const {
+    ++state_->calls;
+    return apply_(x);
+  }
+
+  /// Adapter for APIs taking std::function (shares the call counter).
+  [[nodiscard]] std::function<double(double)> fn() const {
+    return [*this](double x) { return (*this)(x); };
+  }
+
+  /// Total evaluations across all copies.
+  [[nodiscard]] int calls() const { return state_->calls; }
+
+ private:
+  struct State {
+    int calls = 0;
+  };
+
+  explicit FaultyFn(std::function<double(double)> inner)
+      : inner_(std::move(inner)), apply_(inner_) {}
+
+  std::function<double(double)> inner_;
+  std::function<double(double)> apply_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+/// Degenerate bracket endpoints for bracketing-solver tests: lo == hi.
+inline std::pair<double, double> degenerateBracket(double at) {
+  return {at, at};
+}
+
+/// Quiet NaN shorthand.
+inline double nan() { return std::numeric_limits<double>::quiet_NaN(); }
+
+}  // namespace nano::testing

@@ -66,6 +66,23 @@ TEST(BracketAndSolve, ExpandsDownward) {
   EXPECT_NEAR(r.x, -7.0, 1e-9);
 }
 
+TEST(BracketAndSolve, ExactZeroDuringExpansion) {
+  // Root at exactly 2.0: the first expansion evaluates f(2) == 0.
+  // sameSign(0.0, f(lo)) classified the zero as negative, so the solver
+  // used to keep expanding past the root; it must return it immediately.
+  auto r = bracketAndSolve([](double x) { return x - 2.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.status, SolverStatus::Converged);
+  EXPECT_DOUBLE_EQ(r.x, 2.0);
+  EXPECT_DOUBLE_EQ(r.fx, 0.0);
+}
+
+TEST(BracketAndSolve, ReportsStatusOnSuccess) {
+  auto r = bracketAndSolve([](double x) { return x - 5.0; }, 0.0, 1.0);
+  EXPECT_EQ(r.status, SolverStatus::Converged);
+  EXPECT_STREQ(r.diagnostics().kernel, "bracketAndSolve");
+}
+
 TEST(BracketAndSolve, ThrowsWhenNoRoot) {
   EXPECT_THROW(
       bracketAndSolve([](double x) { return x * x + 1.0; }, 0.0, 1.0, 8),
@@ -93,10 +110,18 @@ TEST(LinearInterpolator, InterpolatesInside) {
   EXPECT_DOUBLE_EQ(li(1.0), 10.0);
 }
 
-TEST(LinearInterpolator, ExtrapolatesFromEndSegments) {
+TEST(LinearInterpolator, ClampsBelowTable) {
   LinearInterpolator li({0.0, 1.0}, {0.0, 2.0});
-  EXPECT_DOUBLE_EQ(li(2.0), 4.0);
-  EXPECT_DOUBLE_EQ(li(-1.0), -2.0);
+  EXPECT_DOUBLE_EQ(li(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(li(-1e9), 0.0);
+  EXPECT_DOUBLE_EQ(li(0.0), 0.0);  // boundary itself is exact
+}
+
+TEST(LinearInterpolator, ClampsAboveTable) {
+  LinearInterpolator li({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(li(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(li(1e9), 2.0);
+  EXPECT_DOUBLE_EQ(li(1.0), 2.0);
 }
 
 TEST(LinearInterpolator, RejectsBadInput) {
