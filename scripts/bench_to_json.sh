@@ -3,7 +3,7 @@
 #
 #   scripts/bench_to_json.sh [build-dir] [out.json] [extra benchmark args...]
 #
-# Defaults: build dir ./build, output ./BENCH_PR2.json. The google-benchmark
+# Defaults: build dir ./build, output ./BENCH_PR4.json. The google-benchmark
 # JSON reporter carries per-benchmark real/cpu time plus our custom counters
 # (fraction_high_vth, nodes_repropagated_per_swap, threads, ...), so the
 # acceptance numbers for a PR are one `jq` away. NANO_OBS=1 additionally
@@ -12,7 +12,7 @@
 set -eu
 
 build_dir="${1:-build}"
-out="${2:-BENCH_PR2.json}"
+out="${2:-BENCH_PR4.json}"
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerate the golden figure/table CSVs under golden/ from the bench
+# binaries. Run after an intentional model change, then re-run golden_test
+# and commit the diff alongside the change that caused it.
+#
+# Usage: scripts/refresh_goldens.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+for bench in fig1 fig2 fig3 fig4 fig5 table2 repeaters; do
+  bin="$BUILD/bench/bench_$bench"
+  if [ ! -x "$bin" ]; then
+    echo "missing $bin -- build the bench targets first" >&2
+    exit 1
+  fi
+  "$bin" > /dev/null
+done
+mkdir -p golden
+for csv in fig1 fig2 fig3 fig4 fig5 table2 repeaters; do
+  mv "$csv.csv" "golden/$csv.csv"
+done
+echo "refreshed: $(ls golden/*.csv | tr '\n' ' ')"

@@ -2,11 +2,23 @@
 // both routing directions at the same-polarity rail pitch, ideal bumps
 // (Dirichlet nodes) at rail crossings on the bump pitch, distributed
 // current loads along the rails with a hot-spot region at a multiple of
-// the average power density. Solved with the CG solver for IR drop.
+// the average power density. Solved with preconditioned CG for IR drop.
+//
+// The conductance matrix depends on the configuration only through the
+// mesh structure and one uniform scalar g = railWidth / (sheetR * h): the
+// matrix is g times the unit Laplacian of the topology. GridModel caches
+// that unit Laplacian (and its multigrid hierarchy) per topology, so
+// sweeps that vary only electrical parameters — the Figure 5 linewidth
+// sweep, wake-up load ramps — assemble once and reuse it, folding g into
+// the right-hand side.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "powergrid/multigrid.h"
 #include "powergrid/solver.h"
 #include "tech/itrs.h"
 
@@ -28,6 +40,23 @@ struct GridConfig {
   int subdivisions = 8;       ///< mesh nodes per rail span (resolution)
 };
 
+enum class PreconditionerKind {
+  Auto,       ///< Multigrid above ~32k unknowns, Jacobi below
+  Jacobi,
+  Multigrid,
+};
+
+/// Solver selection for solveGrid (and everything layered on it).
+struct GridSolverOptions {
+  PreconditionerKind preconditioner = PreconditionerKind::Auto;
+  double relTolerance = 1e-10;
+  int maxIterations = 20000;
+  MultigridOptions multigrid;
+
+  friend bool operator==(const GridSolverOptions&,
+                         const GridSolverOptions&) = default;
+};
+
 /// Solved grid.
 struct GridSolution {
   int nx = 0;                   ///< fine-mesh points per row (incl. off-rail)
@@ -42,10 +71,50 @@ struct GridSolution {
   /// stalled solve from a poisoned one where dropV is untrustworthy.
   util::Diagnostics cgDiagnostics;
   std::size_t unknowns = 0;
+  /// Preconditioner that produced dropV ("jacobi" or "multigrid").
+  std::string preconditioner = "jacobi";
+  int mgLevels = 0;             ///< hierarchy depth (0: Jacobi path)
+  /// True when a stalled/diverged V-cycle forced a Jacobi-CG re-solve.
+  bool mgFellBack = false;
 };
 
-/// Build and solve the mesh for `config`.
-GridSolution solveGrid(const GridConfig& config);
+/// Cached per-topology mesh state: unknown enumeration, the unit-
+/// conductance Laplacian, and a lazily-built multigrid hierarchy. Shared
+/// between concurrent solves; everything here is immutable after build
+/// (the hierarchy builds under std::call_once).
+class GridModel {
+ public:
+  explicit GridModel(const GridTopology& topology);
+
+  /// Shared model for the topology implied by `config`, from a process-
+  /// wide cache. Counts obs "powergrid/grid_assemblies" on a build and
+  /// "powergrid/grid_assembly_reuses" on a hit.
+  static std::shared_ptr<const GridModel> forConfig(const GridConfig& config);
+  /// Drop every cached model (tests that assert assembly counts).
+  static void clearCache();
+
+  [[nodiscard]] const GridTopology& topology() const { return topo_; }
+  [[nodiscard]] const MeshIndex& index() const { return index_; }
+  /// Laplacian with unit edge conductance; scale the rhs by 1/g instead.
+  [[nodiscard]] const SparseSpd& unitLaplacian() const { return laplacian_; }
+  /// Default-options hierarchy over unitLaplacian(), built on first use.
+  [[nodiscard]] const MultigridHierarchy& hierarchy() const;
+
+ private:
+  GridTopology topo_;
+  MeshIndex index_;
+  SparseSpd laplacian_;
+  mutable std::once_flag hierarchyOnce_;
+  mutable std::unique_ptr<MultigridHierarchy> hierarchy_;
+};
+
+/// Topology implied by a configuration (railsPerBump is rounded from the
+/// pitch ratio). Throws on an invalid configuration.
+GridTopology gridTopology(const GridConfig& config);
+
+/// Build (or fetch from cache) and solve the mesh for `config`.
+GridSolution solveGrid(const GridConfig& config,
+                       const GridSolverOptions& options = {});
 
 /// Grid configuration for a roadmap node with rails `widthMultiple` times
 /// the minimum top-level width. `padPitch` is the pitch of the full bump

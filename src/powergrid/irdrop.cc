@@ -48,7 +48,8 @@ IrDropReport requiredLinewidth(const tech::TechNode& node, double padPitch,
     GridConfig cfg = gridConfigForNode(
         node, rep.widthOverMin, padPitch, options.hotspotFactor > 1.0);
     cfg.hotspotFactor = options.hotspotFactor;
-    const GridSolution sol = solveGrid(cfg);
+    cfg.subdivisions = options.meshSubdivisions;
+    const GridSolution sol = solveGrid(cfg, options.solver);
     rep.meshDropFraction = sol.maxDropFraction;
   }
   return rep;

@@ -24,6 +24,10 @@ struct IrDropOptions {
   double hotspotFactor = 4.0;
   /// Cross-check the closed form against the mesh solver.
   bool runMesh = false;
+  /// Mesh resolution for the cross-check (nodes per rail span).
+  int meshSubdivisions = 8;
+  /// Solver selection for the mesh cross-check (Jacobi vs multigrid CG).
+  GridSolverOptions solver;
 };
 
 /// Result of a required-linewidth solve at one node / bump pitch.

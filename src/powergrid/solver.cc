@@ -125,8 +125,40 @@ void SparseSpd::multiply(const std::vector<double>& x,
 
 double SparseSpd::diagonal(std::size_t i) const { return diag_.at(i); }
 
+const std::vector<std::size_t>& SparseSpd::rowPtr() const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  return rowPtr_;
+}
+
+const std::vector<std::size_t>& SparseSpd::cols() const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  return col_;
+}
+
+const std::vector<double>& SparseSpd::values() const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  return val_;
+}
+
+std::size_t SparseSpd::nonZeros() const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  return val_.size();
+}
+
+void JacobiPreconditioner::apply(const std::vector<double>& r,
+                                 std::vector<double>& z) const {
+  if (z.size() != r.size()) z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] / a_.diagonal(i);
+}
+
 CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
                  double relTolerance, int maxIterations) {
+  return solveCg(a, b, JacobiPreconditioner(a), relTolerance, maxIterations);
+}
+
+CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
+                 const Preconditioner& preconditioner, double relTolerance,
+                 int maxIterations) {
   if (!a.finalized()) throw std::logic_error("solveCg: matrix not finalized");
   const std::size_t n = a.size();
   if (b.size() != n) throw std::invalid_argument("solveCg: size mismatch");
@@ -159,7 +191,7 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
     res.converged = false;
     res.status = util::SolverStatus::NanDetected;
   } else if (!res.converged) {
-    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
+    preconditioner.apply(r, z);
     p = z;
     double rz = dot(r, z);
     const double threshold = relTolerance * bNorm;
@@ -168,8 +200,9 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
       a.multiply(p, ap);
       const double alpha = rz / dot(p, ap);
       if (!std::isfinite(alpha)) {
-        // Preconditioner breakdown (zero diagonal) or a non-finite matrix
-        // entry: stop at the last finite iterate instead of poisoning x.
+        // Preconditioner breakdown (zero diagonal, a V-cycle returning
+        // non-finite values) or a non-finite matrix entry: stop at the
+        // last finite iterate instead of poisoning x.
         res.status = util::SolverStatus::NanDetected;
         break;
       }
@@ -188,7 +221,7 @@ CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
         res.status = util::SolverStatus::Converged;
         break;
       }
-      for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / a.diagonal(i);
+      preconditioner.apply(r, z);
       const double rzNew = dot(r, z);
       const double beta = rzNew / rz;
       rz = rzNew;

@@ -1,5 +1,7 @@
-// Sparse symmetric-positive-definite linear solver (Jacobi-preconditioned
-// conjugate gradients) for power-grid nodal analysis.
+// Sparse symmetric-positive-definite linear solver (preconditioned
+// conjugate gradients) for power-grid nodal analysis. Preconditioners are
+// pluggable: the classic Jacobi diagonal scaling, or the geometric
+// multigrid V-cycle from powergrid/multigrid.h.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +32,16 @@ class SparseSpd {
 
   [[nodiscard]] double diagonal(std::size_t i) const;
 
+  /// Read-only CSR views of the finalized matrix (throws before
+  /// finalize()). Row r owns entries [rowPtr()[r], rowPtr()[r+1]); columns
+  /// within a row are sorted and duplicate-free. Used by the multigrid
+  /// smoothers, the Galerkin coarse-operator product, and structure tests.
+  [[nodiscard]] const std::vector<std::size_t>& rowPtr() const;
+  [[nodiscard]] const std::vector<std::size_t>& cols() const;
+  [[nodiscard]] const std::vector<double>& values() const;
+  /// Stored entries of the finalized matrix (both triangles).
+  [[nodiscard]] std::size_t nonZeros() const;
+
  private:
   std::size_t n_;
   bool finalized_ = false;
@@ -40,6 +52,31 @@ class SparseSpd {
   std::vector<std::size_t> rowPtr_, col_;
   std::vector<double> val_;
   std::vector<double> diag_;
+};
+
+/// Fixed SPD linear operator z = M^{-1} r applied once per CG iteration.
+/// Implementations must be deterministic and safe to apply concurrently
+/// from multiple solves (no mutable per-apply state).
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// z = M^{-1} r. `z` is resized to match `r`; every element is written.
+  virtual void apply(const std::vector<double>& r,
+                     std::vector<double>& z) const = 0;
+  /// Short static label for diagnostics ("jacobi", "multigrid").
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Diagonal (Jacobi) scaling: z_i = r_i / A_ii. The historical default.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const SparseSpd& a) : a_(a) {}
+  void apply(const std::vector<double>& r,
+             std::vector<double>& z) const override;
+  [[nodiscard]] const char* name() const override { return "jacobi"; }
+
+ private:
+  const SparseSpd& a_;
 };
 
 /// CG result. `status` distinguishes tolerance met, iteration budget
@@ -67,6 +104,15 @@ struct CgResult {
 /// failure (structural misuse — unfinalized matrix, size mismatch — still
 /// throws); inspect `status` instead.
 CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
+                 double relTolerance = 1e-9, int maxIterations = 20000);
+
+/// Solve A x = b with CG under an explicit preconditioner. The Jacobi
+/// path of the default overload is bit-identical to passing a
+/// JacobiPreconditioner here. A preconditioner breakdown (non-finite or
+/// non-positive <r, M^{-1} r>) stops at the last finite iterate with
+/// NanDetected instead of poisoning x.
+CgResult solveCg(const SparseSpd& a, const std::vector<double>& b,
+                 const Preconditioner& preconditioner,
                  double relTolerance = 1e-9, int maxIterations = 20000);
 
 }  // namespace nano::powergrid

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "powergrid/grid_model.h"
+
 namespace nano::core {
 namespace {
 
@@ -224,6 +227,28 @@ TEST(Figure5, RoutingFractionStory) {
   EXPECT_GT(totalMinPitch, 0.16);
   EXPECT_LT(totalMinPitch, 0.25);
   EXPECT_GT(last.itrs.routingFraction, 0.3);
+}
+
+TEST(Figure5, MeshSweepAssemblesConductanceMatrixOnce) {
+  // Regression for the per-sweep-point re-assembly: all 12 mesh
+  // cross-check solves (6 roadmap nodes x {min-pitch, ITRS}) share one
+  // waffle topology, so the sweep must build the conductance matrix once
+  // and reuse the cached unit Laplacian everywhere else — even with the
+  // solves running under exec::parallelMap.
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  obs::MetricsRegistry::instance().reset();
+  powergrid::GridModel::clearCache();
+  const auto rows = computeFigure5(/*withMeshCrossCheck=*/true);
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.minPitch.meshDropFraction, 0.0) << r.nodeNm;
+    EXPECT_GT(r.itrs.meshDropFraction, 0.0) << r.nodeNm;
+  }
+  auto& registry = obs::MetricsRegistry::instance();
+  EXPECT_EQ(registry.counter("powergrid/grid_assemblies").value(), 1);
+  EXPECT_EQ(registry.counter("powergrid/grid_assembly_reuses").value(), 11);
+  obs::setEnabled(wasEnabled);
 }
 
 }  // namespace

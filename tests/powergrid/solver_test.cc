@@ -3,9 +3,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
+
+#include "powergrid/grid_model.h"
+#include "powergrid/multigrid.h"
+#include "util/rng.h"
 
 namespace nano::powergrid {
 namespace {
+
+double dotProduct(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
 
 SparseSpd identity2() {
   SparseSpd a(2);
@@ -202,6 +213,137 @@ TEST(SparseSpd, DuplicateOffDiagonalsMergeInCsr) {
   EXPECT_DOUBLE_EQ(y[0], 3.5 - 1.0);   // 3.5 * 1 + (-1.0) * 1
   EXPECT_DOUBLE_EQ(y[1], 4.0 - 1.0);   // symmetric entry
   EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(SparseSpd, CsrAccessorsThrowBeforeFinalize) {
+  SparseSpd a(2);
+  a.addDiagonal(0, 1.0);
+  EXPECT_THROW(static_cast<void>(a.rowPtr()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(a.cols()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(a.values()), std::logic_error);
+  EXPECT_THROW(static_cast<void>(a.nonZeros()), std::logic_error);
+  a.addDiagonal(1, 1.0);
+  a.addOffDiagonal(0, 1, -0.5);
+  a.finalize();
+  EXPECT_EQ(a.nonZeros(), 4u);  // two diagonals + the mirrored off-diagonal
+  EXPECT_EQ(a.rowPtr().size(), 3u);
+  EXPECT_EQ(a.cols().size(), 4u);
+  EXPECT_EQ(a.values().size(), 4u);
+}
+
+// Randomized grid topologies drive the property checks below: the
+// assembled operator must be exactly symmetric, match a dense reference
+// under multiply, and be positive definite (CG converges on any rhs).
+TEST(SparseSpdProperties, RandomGridsAreSymmetricPositiveDefinite) {
+  util::Rng rng(20260806);
+  for (int trial = 0; trial < 8; ++trial) {
+    GridConfig cfg;
+    cfg.railPitch = 160e-6;
+    cfg.bumpPitch = cfg.railPitch * rng.uniformInt(1, 3);
+    cfg.tilesX = rng.uniformInt(1, 3);
+    cfg.tilesY = rng.uniformInt(1, 3);
+    cfg.subdivisions = 2 * rng.uniformInt(1, 4);
+    cfg.hotspotCellsRail = rng.uniformInt(0, 1);
+    const auto model = GridModel::forConfig(cfg);
+    const SparseSpd& a = model->unitLaplacian();
+    const std::size_t n = a.size();
+    const auto& rp = a.rowPtr();
+    const auto& cols = a.cols();
+    const auto& vals = a.values();
+
+    // Exact symmetry: every stored (i, j) has a stored (j, i) with the
+    // identical bit pattern.
+    std::vector<std::vector<std::pair<std::size_t, double>>> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+        rows[i].emplace_back(cols[k], vals[k]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& [j, v] : rows[i]) {
+        bool found = false;
+        for (const auto& [jj, vv] : rows[j]) {
+          if (jj == i) {
+            found = true;
+            EXPECT_EQ(v, vv) << "asymmetric at (" << i << ", " << j << ")";
+          }
+        }
+        EXPECT_TRUE(found) << "missing transpose entry (" << j << ", " << i
+                           << ")";
+      }
+    }
+
+    // multiply vs a dense reference on a random vector.
+    if (n <= 2048) {
+      std::vector<double> x(n), yDense(n, 0.0), ySparse;
+      for (double& v : x) v = rng.uniform(-1.0, 1.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+          yDense[i] += vals[k] * x[cols[k]];
+        }
+      }
+      a.multiply(x, ySparse);
+      ASSERT_EQ(ySparse.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(ySparse[i], yDense[i], 1e-12 * (1.0 + std::abs(yDense[i])));
+      }
+    }
+
+    // Positive definiteness, observed through CG converging on a random
+    // rhs and producing a positive quadratic form.
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    const CgResult r = solveCg(a, b, 1e-9, 8 * static_cast<int>(n) + 100);
+    ASSERT_TRUE(r.converged)
+        << "trial " << trial << ": CG stalled on a supposedly SPD operator";
+    EXPECT_GT(dotProduct(r.x, b), -1e-9);
+  }
+}
+
+TEST(Preconditioners, ExplicitJacobiMatchesDefaultBitwise) {
+  // The classic overload must stay bit-identical when spelled as the
+  // preconditioned overload with a JacobiPreconditioner.
+  const std::size_t n = 64;
+  SparseSpd a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.addDiagonal(i, i + 1 < n ? 2.0 : 1.0);
+    if (i + 1 < n) a.addOffDiagonal(i, i + 1, -1.0);
+  }
+  a.finalize();
+  std::vector<double> b(n, 0.0);
+  b[n - 1] = 1.0;
+  const CgResult classic = solveCg(a, b, 1e-11);
+  const JacobiPreconditioner jacobi(a);
+  EXPECT_STREQ(jacobi.name(), "jacobi");
+  const CgResult explicitPc = solveCg(a, b, jacobi, 1e-11);
+  ASSERT_TRUE(classic.converged);
+  EXPECT_EQ(classic.iterations, explicitPc.iterations);
+  EXPECT_EQ(classic.residualNorm, explicitPc.residualNorm);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(classic.x[i], explicitPc.x[i]) << "drift at " << i;
+  }
+}
+
+TEST(Preconditioners, PoisonedPreconditionerStopsAtLastFiniteIterate) {
+  struct PoisonAfterFirst final : Preconditioner {
+    mutable int calls = 0;
+    void apply(const std::vector<double>& r,
+               std::vector<double>& z) const override {
+      z.assign(r.size(), ++calls > 1 ? std::nan("") : 1.0);
+    }
+    const char* name() const override { return "poison"; }
+  };
+  SparseSpd a(2);
+  a.addDiagonal(0, 2.0);
+  a.addDiagonal(1, 1.0);
+  a.addOffDiagonal(0, 1, -1.0);
+  a.finalize();
+  const PoisonAfterFirst poison;
+  const CgResult r = solveCg(a, {0.0, 1.0}, poison, 1e-14, 50);
+  EXPECT_EQ(r.status, util::SolverStatus::NanDetected);
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(std::isfinite(r.x[0]));
+  EXPECT_TRUE(std::isfinite(r.x[1]));
 }
 
 TEST(SparseSpd, MultiplyReusesCallerBuffer) {

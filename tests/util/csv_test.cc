@@ -155,6 +155,39 @@ TEST_F(CsvTest, QuotedHeaderCells) {
   EXPECT_NE(text.find("vdd (V),\"delay, ps\"\n"), std::string::npos);
 }
 
+TEST_F(CsvTest, ReaderRoundTripsWriterOutput) {
+  {
+    CsvWriter w(path_, {"node_nm", "note"});
+    w.row(std::vector<double>{180, 3.7e-9});
+    w.row(std::vector<std::string>{"50", "comma, and \"quote\""});
+  }
+  const CsvTable table = readCsvFile(path_);
+  ASSERT_EQ(table.header, (std::vector<std::string>{"node_nm", "note"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.number(0, 0), 180.0);
+  EXPECT_DOUBLE_EQ(table.number(0, 1), 3.7e-9);
+  EXPECT_EQ(table.rows[1][1], "comma, and \"quote\"");
+  EXPECT_EQ(table.columnIndex("note"), 1);
+  EXPECT_EQ(table.columnIndex("missing"), -1);
+}
+
+TEST_F(CsvTest, ReaderHandlesCrlfAndMissingFinalNewline) {
+  const CsvTable table = parseCsvText("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.number(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(table.number(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(table.number(1, 1), 4.0);
+}
+
+TEST_F(CsvTest, ReaderRejectsMalformedInput) {
+  EXPECT_THROW(parseCsvText("a,b\n1\n"), std::invalid_argument);
+  EXPECT_THROW(parseCsvText("a\n\"unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(readCsvFile("/nonexistent-dir-xyz/in.csv"), std::runtime_error);
+  const CsvTable table = parseCsvText("a,b\n1,x\n");
+  EXPECT_THROW(table.number(0, 1), std::invalid_argument);
+  EXPECT_THROW(table.number(1, 0), std::out_of_range);
+}
+
 TEST_F(CsvTest, LineCountMatchesRows) {
   {
     CsvWriter w(path_, {"v"});
