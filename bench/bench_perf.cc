@@ -16,6 +16,7 @@
 #include "sim/circuit_sim.h"
 #include "sta/incremental.h"
 #include "sta/sta.h"
+#include "svc/server.h"
 
 namespace {
 
@@ -168,6 +169,60 @@ BENCHMARK(BM_GridSolve)
     ->Args({32, 1})
     ->Args({128, 1})
     ->Unit(benchmark::kMillisecond);
+
+// Service-layer throughput: a mixed query stream (8x repetition of a
+// unique set, like a sweep client re-asking overlapping questions) pushed
+// through the full stack — parse-free submit, scheduler batching, cache +
+// in-flight dedup, evaluation on the exec pool. Items = requests/s; the
+// hit_rate counter reports the fraction served from cache.
+void BM_SvcThroughput(benchmark::State& state) {
+  constexpr int kUnique = 64;
+  constexpr int kRequests = 512;
+  std::vector<svc::Request> mix;
+  mix.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    const int u = i % kUnique;
+    svc::Request r;
+    if (u % 2 == 0) {
+      r.kind = svc::RequestKind::DesignPoint;
+      svc::DesignPointParams p;
+      p.vdd = 0.45 + 0.002 * u;
+      r.params = p;
+    } else {
+      r.kind = svc::RequestKind::Wire;
+      svc::WireParams p;
+      p.widthMultiple = 1.0 + 0.125 * u;
+      r.params = p;
+    }
+    mix.push_back(std::move(r));
+  }
+
+  auto& registry = obs::MetricsRegistry::instance();
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  const double hits0 = registry.counter("svc/cache_hits").value();
+  const double joins0 = registry.counter("svc/dedup_joins").value();
+  const double misses0 = registry.counter("svc/cache_misses").value();
+
+  for (auto _ : state) {
+    svc::ServiceOptions options;
+    options.blockWhenFull = true;
+    svc::Service service(options);
+    std::vector<std::future<svc::Response>> futures;
+    futures.reserve(mix.size());
+    for (const svc::Request& r : mix) futures.push_back(service.submit(r));
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get());
+  }
+
+  const double hits = registry.counter("svc/cache_hits").value() - hits0;
+  const double joins = registry.counter("svc/dedup_joins").value() - joins0;
+  const double misses = registry.counter("svc/cache_misses").value() - misses0;
+  obs::setEnabled(wasEnabled);
+  state.SetItemsProcessed(state.iterations() * kRequests);
+  state.counters["threads"] = exec::threadCount();
+  state.counters["hit_rate"] = (hits + joins) / (hits + joins + misses);
+}
+BENCHMARK(BM_SvcThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_TransientSim(benchmark::State& state) {
   const auto& node = tech::nodeByFeature(100);

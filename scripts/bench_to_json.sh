@@ -3,16 +3,16 @@
 #
 #   scripts/bench_to_json.sh [build-dir] [out.json] [extra benchmark args...]
 #
-# Defaults: build dir ./build, output ./BENCH_PR4.json. The google-benchmark
+# Defaults: build dir ./build, output ./BENCH_PR5.json. The google-benchmark
 # JSON reporter carries per-benchmark real/cpu time plus our custom counters
-# (fraction_high_vth, nodes_repropagated_per_swap, threads, ...), so the
+# (fraction_high_vth, nodes_repropagated_per_swap, threads, hit_rate, ...), so the
 # acceptance numbers for a PR are one `jq` away. NANO_OBS=1 additionally
 # prints the observability run report (exec/* and sta/incremental_* tallies)
 # to stderr alongside.
 set -eu
 
 build_dir="${1:-build}"
-out="${2:-BENCH_PR4.json}"
+out="${2:-BENCH_PR5.json}"
 [ $# -ge 1 ] && shift
 [ $# -ge 1 ] && shift
 

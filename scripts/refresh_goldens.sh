@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Regenerate the golden figure/table CSVs under golden/ from the bench
-# binaries. Run after an intentional model change, then re-run golden_test
-# and commit the diff alongside the change that caused it.
+# Regenerate the golden figure/table CSVs and the nanod replay golden
+# under golden/ from the bench binaries and the nanod tool. Run after an
+# intentional model change, then re-run golden_test + svc_replay_test and
+# commit the diff alongside the change that caused it.
 #
 # Usage: scripts/refresh_goldens.sh [build-dir]   (default: build)
 set -eu
@@ -19,4 +20,16 @@ mkdir -p golden
 for csv in fig1 fig2 fig3 fig4 fig5 table2 repeaters; do
   mv "$csv.csv" "golden/$csv.csv"
 done
-echo "refreshed: $(ls golden/*.csv | tr '\n' ' ')"
+
+# Replay the committed request trace through nanod at one exec lane
+# (--block so nothing sheds; the output is byte-identical at any lane
+# count, which svc_replay_test re-checks at the session default).
+nanod="$BUILD/tools/nanod"
+if [ ! -x "$nanod" ]; then
+  echo "missing $nanod -- build the tools targets first" >&2
+  exit 1
+fi
+NANO_EXEC_THREADS=1 "$nanod" --input golden/nanod_trace.jsonl --block \
+  > golden/nanod_replay.jsonl
+
+echo "refreshed: $(ls golden/*.csv golden/nanod_replay.jsonl | tr '\n' ' ')"

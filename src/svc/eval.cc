@@ -1,0 +1,318 @@
+#include "svc/eval.h"
+
+#include <string>
+
+#include "core/analysis.h"
+#include "core/design_space.h"
+#include "core/experiments.h"
+#include "interconnect/repeater.h"
+#include "interconnect/wire.h"
+#include "obs/obs.h"
+#include "powergrid/grid_model.h"
+#include "powergrid/irdrop.h"
+#include "svc/json.h"
+#include "tech/itrs.h"
+#include "util/units.h"
+
+namespace nano::svc {
+
+namespace {
+
+using namespace nano::units;
+
+JsonValue irDropReportJson(const powergrid::IrDropReport& r) {
+  JsonValue o = JsonValue::object();
+  o.set("pad_pitch_um", r.padPitch / um);
+  o.set("rail_pitch_um", r.railPitch / um);
+  o.set("required_width_um", r.requiredWidth / um);
+  o.set("width_over_min", r.widthOverMin);
+  o.set("routing_fraction", r.routingFraction);
+  o.set("bump_current_a", r.bumpCurrent);
+  o.set("bump_current_ok", r.bumpCurrentOk);
+  o.set("vdd_bump_count", r.vddBumpCount);
+  if (r.meshDropFraction >= 0.0) o.set("mesh_drop_fraction", r.meshDropFraction);
+  return o;
+}
+
+JsonValue operatingPointJson(const core::OperatingPoint& pt) {
+  JsonValue o = JsonValue::object();
+  o.set("vdd", pt.vdd);
+  o.set("vth_design", pt.vthDesign);
+  o.set("delay_norm", pt.delayNorm);
+  o.set("pdyn_norm", pt.pdynNorm);
+  o.set("pstat_norm", pt.pstatNorm);
+  o.set("ptotal_norm", pt.ptotalNorm);
+  o.set("static_fraction", pt.staticFraction);
+  return o;
+}
+
+JsonValue table2RowJson(const core::Table2Row& row) {
+  JsonValue o = JsonValue::object();
+  o.set("node_nm", row.nodeNm);
+  o.set("vdd", row.vdd);
+  o.set("coxe_norm", row.coxeNorm);
+  o.set("cox_phys_norm", row.coxPhysNorm);
+  o.set("vth_required", row.vthRequired);
+  o.set("ioff_na_um", row.ioffNaUm);
+  o.set("vth_metal", row.vthMetal);
+  o.set("ioff_metal_na_um", row.ioffMetalNaUm);
+  o.set("ioff_itrs_na_um", row.ioffItrsNaUm);
+  return o;
+}
+
+JsonValue evalFigure1(const Fig1Params& p) {
+  JsonValue points = JsonValue::array();
+  for (const core::Fig1Point& pt : core::computeFigure1(p.points)) {
+    JsonValue o = JsonValue::object();
+    o.set("activity", pt.activity);
+    o.set("ratio_70nm_09v", pt.ratio70nm09V);
+    o.set("ratio_50nm_07v", pt.ratio50nm07V);
+    o.set("ratio_50nm_06v", pt.ratio50nm06V);
+    points.push(std::move(o));
+  }
+  JsonValue data = JsonValue::object();
+  data.set("points", std::move(points));
+  return data;
+}
+
+JsonValue evalFigure2(const Fig2Params&) {
+  JsonValue points = JsonValue::array();
+  for (const core::Fig2Point& pt : core::computeFigure2()) {
+    JsonValue o = JsonValue::object();
+    o.set("node_nm", pt.nodeNm);
+    o.set("ion_gain_percent", pt.ionGainPercent);
+    o.set("ioff_penalty_for_20", pt.ioffPenaltyFor20);
+    points.push(std::move(o));
+  }
+  JsonValue data = JsonValue::object();
+  data.set("points", std::move(points));
+  return data;
+}
+
+JsonValue evalFigure34(const Fig34Params& p) {
+  JsonValue points = JsonValue::array();
+  for (const core::Fig34Point& pt :
+       core::computeFigure34(p.nodeNm, p.points, p.activity, p.vddMin)) {
+    JsonValue o = JsonValue::object();
+    o.set("vdd", pt.vdd);
+    for (std::size_t i = 0; i < core::kVthPolicies.size(); ++i) {
+      const std::string policy = core::policyName(core::kVthPolicies[i]);
+      JsonValue per = JsonValue::object();
+      per.set("vth_design", pt.vthDesign[i]);
+      per.set("delay_norm", pt.delayNorm[i]);
+      per.set("pdyn_over_pstat", pt.pdynOverPstat[i]);
+      o.set(policy, std::move(per));
+    }
+    points.push(std::move(o));
+  }
+  JsonValue data = JsonValue::object();
+  data.set("points", std::move(points));
+  return data;
+}
+
+JsonValue evalFigure5(const Fig5Params& p) {
+  JsonValue rows = JsonValue::array();
+  for (const core::Fig5Row& row : core::computeFigure5(p.meshCheck)) {
+    JsonValue o = JsonValue::object();
+    o.set("node_nm", row.nodeNm);
+    o.set("min_pitch", irDropReportJson(row.minPitch));
+    o.set("itrs", irDropReportJson(row.itrs));
+    rows.push(std::move(o));
+  }
+  JsonValue data = JsonValue::object();
+  data.set("rows", std::move(rows));
+  return data;
+}
+
+JsonValue evalTable2(const Table2Params&) {
+  const core::Table2 t = core::computeTable2();
+  JsonValue rows = JsonValue::array();
+  for (const core::Table2Row& row : t.rows) rows.push(table2RowJson(row));
+  JsonValue data = JsonValue::object();
+  data.set("rows", std::move(rows));
+  data.set("row_50_at_07", table2RowJson(t.row50At07));
+  data.set("model_growth", t.modelGrowth);
+  data.set("itrs_growth", t.itrsGrowth);
+  return data;
+}
+
+core::DesignSpaceOptions gridOptions(const DesignGridParams& p) {
+  core::DesignSpaceOptions o;
+  o.nodeNm = p.nodeNm;
+  o.activity = p.activity;
+  o.vddMin = p.vddMin;
+  o.vthMin = p.vthMin;
+  o.vthMax = p.vthMax;
+  o.vddSteps = p.vddSteps;
+  o.vthSteps = p.vthSteps;
+  return o;
+}
+
+JsonValue evalDesignPoint(const DesignPointParams& p) {
+  core::DesignSpaceOptions o;
+  o.nodeNm = p.nodeNm;
+  o.activity = p.activity;
+  return operatingPointJson(core::evaluatePoint(o, p.vdd, p.vth));
+}
+
+JsonValue evalDesignGrid(const DesignGridParams& p) {
+  JsonValue points = JsonValue::array();
+  for (const core::OperatingPoint& pt :
+       core::exploreDesignSpace(gridOptions(p))) {
+    points.push(operatingPointJson(pt));
+  }
+  JsonValue data = JsonValue::object();
+  data.set("vdd_steps", p.vddSteps);
+  data.set("vth_steps", p.vthSteps);
+  data.set("points", std::move(points));
+  return data;
+}
+
+JsonValue evalDesignOptimum(const DesignOptimumParams& p) {
+  return operatingPointJson(core::optimalPoint(gridOptions(p.grid),
+                                               p.delayTarget,
+                                               p.maxStaticFraction));
+}
+
+JsonValue evalRepeater(const RepeaterParams& p) {
+  const tech::TechNode& node = tech::nodeByFeature(p.nodeNm);
+  const auto driver = interconnect::RepeaterDriver::fromNode(node);
+  const auto rc = interconnect::computeWireRc(
+      interconnect::topLevelWire(node, p.widthMultiple));
+  const auto closed = interconnect::optimalRepeatersClosedForm(driver, rc);
+  const auto numeric = interconnect::optimalRepeatersNumeric(driver, rc);
+  auto designJson = [](const interconnect::RepeaterDesign& d) {
+    JsonValue o = JsonValue::object();
+    o.set("segment_length_um", d.segmentLength / um);
+    o.set("size", d.size);
+    o.set("delay_ps_per_mm", d.delayPerMeter * 1e12 * 1e-3);
+    return o;
+  };
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("closed_form", designJson(closed));
+  data.set("numeric", designJson(numeric));
+  return data;
+}
+
+JsonValue evalWire(const WireParams& p) {
+  const tech::TechNode& node = tech::nodeByFeature(p.nodeNm);
+  const auto rc = interconnect::computeWireRc(
+      interconnect::topLevelWire(node, p.widthMultiple, p.matchSpacing));
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("resistance_ohm_per_mm", rc.resistancePerM * 1e-3);
+  data.set("ground_cap_ff_per_mm", rc.groundCapPerM / fF * 1e-3);
+  data.set("coupling_cap_ff_per_mm", rc.couplingCapPerM / fF * 1e-3);
+  data.set("total_cap_ff_per_mm", rc.totalCapPerM() / fF * 1e-3);
+  data.set("worst_case_cap_ff_per_mm", rc.worstCaseCapPerM() / fF * 1e-3);
+  return data;
+}
+
+JsonValue evalGridSolve(const GridSolveParams& p) {
+  const tech::TechNode& node = tech::nodeByFeature(p.nodeNm);
+  const double padPitch = p.padPitchUm > 0.0 ? p.padPitchUm * um
+                                             : node.minBumpPitch;
+  powergrid::GridConfig config =
+      powergrid::gridConfigForNode(node, p.widthMultiple, padPitch, p.hotspot);
+  config.subdivisions = p.subdivisions;
+  powergrid::GridSolverOptions options;
+  if (p.preconditioner == "jacobi") {
+    options.preconditioner = powergrid::PreconditionerKind::Jacobi;
+  } else if (p.preconditioner == "multigrid") {
+    options.preconditioner = powergrid::PreconditionerKind::Multigrid;
+  }
+  const powergrid::GridSolution sol = powergrid::solveGrid(config, options);
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("unknowns", static_cast<double>(sol.unknowns));
+  data.set("max_drop_v", sol.maxDrop);
+  data.set("max_drop_fraction", sol.maxDropFraction);
+  data.set("cg_iterations", sol.cgIterations);
+  data.set("converged", sol.cgConverged);
+  data.set("solver_status",
+           util::solverStatusName(sol.cgDiagnostics.status));
+  data.set("preconditioner", sol.preconditioner);
+  data.set("mg_levels", sol.mgLevels);
+  data.set("mg_fell_back", sol.mgFellBack);
+  return data;
+}
+
+JsonValue evalNodeSummary(const NodeSummaryParams& p) {
+  const core::NodeSummary s = core::summarizeNode(p.nodeNm);
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("vth_required", s.vthRequired);
+  data.set("ion_ua_um", s.ionUaUm);
+  data.set("ioff_na_um", s.ioffNaUm);
+  data.set("ioff_hot_na_um", s.ioffHotNaUm);
+  data.set("fo4_delay_ps", s.fo4DelayPs);
+  data.set("fo4_per_cycle", s.fo4PerCycle);
+  data.set("max_power_w", s.maxPowerW);
+  data.set("supply_current_a", s.supplyCurrentA);
+  data.set("standby_current_budget_a", s.standbyCurrentBudgetA);
+  data.set("theta_ja_required", s.thetaJaRequired);
+  data.set("packaging",
+           s.packaging != nullptr ? s.packaging->name : std::string("none"));
+  data.set("cooling_cost_usd", s.coolingCostUsd);
+  data.set("die_crossing_cycles", s.wiring.cyclesToCrossDie);
+  data.set("repeater_count", s.wiring.repeaterCount);
+  data.set("repeater_area_fraction", s.wiring.repeaterAreaFraction);
+  data.set("grid_min_pitch", irDropReportJson(s.gridMinPitch));
+  data.set("grid_itrs", irDropReportJson(s.gridItrs));
+  JsonValue wake = JsonValue::object();
+  wake.set("noise_fraction", s.wakeup.noiseFraction);
+  wake.set("within_budget", s.wakeup.withinBudget);
+  wake.set("decap_needed_f", s.wakeup.decapNeeded);
+  data.set("wakeup", std::move(wake));
+  return data;
+}
+
+JsonValue dispatch(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::Figure1:
+      return evalFigure1(std::get<Fig1Params>(request.params));
+    case RequestKind::Figure2:
+      return evalFigure2(std::get<Fig2Params>(request.params));
+    case RequestKind::Figure34:
+      return evalFigure34(std::get<Fig34Params>(request.params));
+    case RequestKind::Figure5:
+      return evalFigure5(std::get<Fig5Params>(request.params));
+    case RequestKind::Table2:
+      return evalTable2(std::get<Table2Params>(request.params));
+    case RequestKind::DesignPoint:
+      return evalDesignPoint(std::get<DesignPointParams>(request.params));
+    case RequestKind::DesignGrid:
+      return evalDesignGrid(std::get<DesignGridParams>(request.params));
+    case RequestKind::DesignOptimum:
+      return evalDesignOptimum(std::get<DesignOptimumParams>(request.params));
+    case RequestKind::Repeater:
+      return evalRepeater(std::get<RepeaterParams>(request.params));
+    case RequestKind::Wire:
+      return evalWire(std::get<WireParams>(request.params));
+    case RequestKind::GridSolve:
+      return evalGridSolve(std::get<GridSolveParams>(request.params));
+    case RequestKind::NodeSummary:
+      return evalNodeSummary(std::get<NodeSummaryParams>(request.params));
+  }
+  throw std::logic_error("evaluate: unhandled kind");
+}
+
+}  // namespace
+
+Outcome evaluate(const Request& request) {
+  NANO_OBS_TIMER(std::string("svc/latency/") + kindName(request.kind));
+  Outcome outcome;
+  try {
+    outcome.status = ResponseStatus::Ok;
+    outcome.data = dispatch(request).write();
+  } catch (const std::exception& e) {
+    NANO_OBS_COUNT("svc/errors", 1);
+    outcome.status = ResponseStatus::Error;
+    outcome.data.clear();
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+}  // namespace nano::svc

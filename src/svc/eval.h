@@ -1,0 +1,20 @@
+// The service's pure evaluation core: one request in, one content-
+// determined Outcome out. No caching, no queueing — those live in
+// svc/cache.h and svc/scheduler.h; this layer only dispatches onto the
+// model library and renders deterministic JSON payloads.
+#pragma once
+
+#include "svc/request.h"
+
+namespace nano::svc {
+
+/// Evaluate one request. Never throws: model/solver failures (off-roadmap
+/// node, invalid operating point, non-converged solve) come back as an
+/// Error outcome with the exception message, so one bad point cannot kill
+/// a serving session. Ok payloads are byte-identical for identical
+/// canonical keys at any thread count.
+///
+/// Instrumented: "svc/latency/<kind>" timers and the "svc/errors" counter.
+Outcome evaluate(const Request& request);
+
+}  // namespace nano::svc

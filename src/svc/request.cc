@@ -1,0 +1,423 @@
+#include "svc/request.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "svc/json.h"
+
+namespace nano::svc {
+
+namespace {
+
+constexpr const char* kKindNames[kRequestKindCount] = {
+    "figure1",      "figure2",     "figure34",       "figure5",
+    "table2",       "design_point", "design_grid",   "design_optimum",
+    "repeater",     "wire",        "grid_solve",     "node_summary",
+};
+
+constexpr const char* kPriorityNames[3] = {"high", "normal", "low"};
+
+constexpr const char* kStatusNames[5] = {"ok", "error", "invalid", "shed",
+                                         "timeout"};
+
+}  // namespace
+
+const char* kindName(RequestKind kind) {
+  return kKindNames[static_cast<int>(kind)];
+}
+
+bool kindFromName(std::string_view name, RequestKind& out) {
+  for (int i = 0; i < kRequestKindCount; ++i) {
+    if (name == kKindNames[i]) {
+      out = static_cast<RequestKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* priorityName(Priority priority) {
+  return kPriorityNames[static_cast<int>(priority)];
+}
+
+bool priorityFromName(std::string_view name, Priority& out) {
+  for (int i = 0; i < 3; ++i) {
+    if (name == kPriorityNames[i]) {
+      out = static_cast<Priority>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* statusName(ResponseStatus status) {
+  return kStatusNames[static_cast<int>(status)];
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// ------------------------------------------------------- canonical key
+
+namespace {
+
+/// Renders `name=value` pairs in declaration order with round-trip double
+/// formatting, so the key is a pure function of the filled param struct.
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(RequestKind kind) : out_(kindName(kind)) {
+    out_.push_back('(');
+  }
+
+  void field(const char* name, double v) { raw(name, formatJsonDouble(v)); }
+  void field(const char* name, int v) { raw(name, std::to_string(v)); }
+  void field(const char* name, bool v) { raw(name, v ? "true" : "false"); }
+  void field(const char* name, const std::string& v) { raw(name, v); }
+
+  std::string finish() {
+    out_.push_back(')');
+    return std::move(out_);
+  }
+
+ private:
+  void raw(const char* name, const std::string& value) {
+    if (!first_) out_.push_back(',');
+    first_ = false;
+    out_ += name;
+    out_.push_back('=');
+    out_ += value;
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+void keyFields(KeyBuilder& k, const Fig1Params& p) {
+  k.field("points", p.points);
+}
+void keyFields(KeyBuilder&, const Fig2Params&) {}
+void keyFields(KeyBuilder& k, const Fig34Params& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("points", p.points);
+  k.field("activity", p.activity);
+  k.field("vdd_min", p.vddMin);
+}
+void keyFields(KeyBuilder& k, const Fig5Params& p) {
+  k.field("mesh_check", p.meshCheck);
+}
+void keyFields(KeyBuilder&, const Table2Params&) {}
+void keyFields(KeyBuilder& k, const DesignPointParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("activity", p.activity);
+  k.field("vdd", p.vdd);
+  k.field("vth", p.vth);
+}
+void keyFields(KeyBuilder& k, const DesignGridParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("activity", p.activity);
+  k.field("vdd_min", p.vddMin);
+  k.field("vth_min", p.vthMin);
+  k.field("vth_max", p.vthMax);
+  k.field("vdd_steps", p.vddSteps);
+  k.field("vth_steps", p.vthSteps);
+}
+void keyFields(KeyBuilder& k, const DesignOptimumParams& p) {
+  keyFields(k, p.grid);
+  k.field("delay_target", p.delayTarget);
+  k.field("max_static_fraction", p.maxStaticFraction);
+}
+void keyFields(KeyBuilder& k, const RepeaterParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("width_multiple", p.widthMultiple);
+}
+void keyFields(KeyBuilder& k, const WireParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("width_multiple", p.widthMultiple);
+  k.field("match_spacing", p.matchSpacing);
+}
+void keyFields(KeyBuilder& k, const GridSolveParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("width_multiple", p.widthMultiple);
+  k.field("pad_pitch_um", p.padPitchUm);
+  k.field("subdivisions", p.subdivisions);
+  k.field("hotspot", p.hotspot);
+  k.field("preconditioner", p.preconditioner);
+}
+void keyFields(KeyBuilder& k, const NodeSummaryParams& p) {
+  k.field("node_nm", p.nodeNm);
+}
+
+}  // namespace
+
+std::string Request::canonicalKey() const {
+  KeyBuilder k(kind);
+  std::visit([&k](const auto& p) { keyFields(k, p); }, params);
+  return k.finish();
+}
+
+std::uint64_t Request::contentHash() const { return fnv1a64(canonicalKey()); }
+
+// ------------------------------------------------------------- parsing
+
+namespace {
+
+/// Typed, consumption-tracked reads from the "params" object: every field
+/// is optional (defaults hold), wrong types fail, and leftover keys fail
+/// so a misspelled parameter cannot silently fall back to a default.
+class ParamReader {
+ public:
+  explicit ParamReader(const JsonValue* obj) : obj_(obj) {
+    if (obj_ != nullptr) consumed_.assign(obj_->members().size(), false);
+  }
+
+  void number(const char* name, double& out) {
+    const JsonValue* v = take(name);
+    if (v == nullptr) return;
+    if (!v->isNumber()) fail(name, "a number");
+    out = v->asNumber();
+  }
+
+  void integer(const char* name, int& out) {
+    const JsonValue* v = take(name);
+    if (v == nullptr) return;
+    if (!v->isNumber()) fail(name, "a number");
+    const double d = v->asNumber();
+    if (d != std::floor(d) || std::fabs(d) > 1e9) fail(name, "an integer");
+    out = static_cast<int>(d);
+  }
+
+  void boolean(const char* name, bool& out) {
+    const JsonValue* v = take(name);
+    if (v == nullptr) return;
+    if (!v->isBool()) fail(name, "a boolean");
+    out = v->asBool();
+  }
+
+  void string(const char* name, std::string& out) {
+    const JsonValue* v = take(name);
+    if (v == nullptr) return;
+    if (!v->isString()) fail(name, "a string");
+    out = v->asString();
+  }
+
+  /// Rejects any member no reader consumed.
+  void finish() {
+    if (obj_ == nullptr) return;
+    const auto& members = obj_->members();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!consumed_[i]) {
+        throw std::invalid_argument("unknown parameter \"" + members[i].first +
+                                    "\"");
+      }
+    }
+  }
+
+ private:
+  const JsonValue* take(const char* name) {
+    if (obj_ == nullptr) return nullptr;
+    const auto& members = obj_->members();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i].first == name) {
+        consumed_[i] = true;
+        return &members[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  [[noreturn]] static void fail(const char* name, const char* want) {
+    throw std::invalid_argument(std::string("parameter \"") + name +
+                                "\" must be " + want);
+  }
+
+  const JsonValue* obj_;
+  std::vector<bool> consumed_;
+};
+
+void readParams(ParamReader& r, Fig1Params& p) { r.integer("points", p.points); }
+void readParams(ParamReader&, Fig2Params&) {}
+void readParams(ParamReader& r, Fig34Params& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.integer("points", p.points);
+  r.number("activity", p.activity);
+  r.number("vdd_min", p.vddMin);
+}
+void readParams(ParamReader& r, Fig5Params& p) {
+  r.boolean("mesh_check", p.meshCheck);
+}
+void readParams(ParamReader&, Table2Params&) {}
+void readParams(ParamReader& r, DesignPointParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.number("activity", p.activity);
+  r.number("vdd", p.vdd);
+  r.number("vth", p.vth);
+}
+void readParams(ParamReader& r, DesignGridParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.number("activity", p.activity);
+  r.number("vdd_min", p.vddMin);
+  r.number("vth_min", p.vthMin);
+  r.number("vth_max", p.vthMax);
+  r.integer("vdd_steps", p.vddSteps);
+  r.integer("vth_steps", p.vthSteps);
+}
+void readParams(ParamReader& r, DesignOptimumParams& p) {
+  readParams(r, p.grid);
+  r.number("delay_target", p.delayTarget);
+  r.number("max_static_fraction", p.maxStaticFraction);
+}
+void readParams(ParamReader& r, RepeaterParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.number("width_multiple", p.widthMultiple);
+}
+void readParams(ParamReader& r, WireParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.number("width_multiple", p.widthMultiple);
+  r.boolean("match_spacing", p.matchSpacing);
+}
+void readParams(ParamReader& r, GridSolveParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.number("width_multiple", p.widthMultiple);
+  r.number("pad_pitch_um", p.padPitchUm);
+  r.integer("subdivisions", p.subdivisions);
+  r.boolean("hotspot", p.hotspot);
+  r.string("preconditioner", p.preconditioner);
+  if (p.preconditioner != "auto" && p.preconditioner != "jacobi" &&
+      p.preconditioner != "multigrid") {
+    throw std::invalid_argument("parameter \"preconditioner\" must be one of "
+                                "auto/jacobi/multigrid");
+  }
+}
+void readParams(ParamReader& r, NodeSummaryParams& p) {
+  r.integer("node_nm", p.nodeNm);
+}
+
+Params defaultParams(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Figure1: return Fig1Params{};
+    case RequestKind::Figure2: return Fig2Params{};
+    case RequestKind::Figure34: return Fig34Params{};
+    case RequestKind::Figure5: return Fig5Params{};
+    case RequestKind::Table2: return Table2Params{};
+    case RequestKind::DesignPoint: return DesignPointParams{};
+    case RequestKind::DesignGrid: return DesignGridParams{};
+    case RequestKind::DesignOptimum: return DesignOptimumParams{};
+    case RequestKind::Repeater: return RepeaterParams{};
+    case RequestKind::Wire: return WireParams{};
+    case RequestKind::GridSolve: return GridSolveParams{};
+    case RequestKind::NodeSummary: return NodeSummaryParams{};
+  }
+  return Fig1Params{};
+}
+
+}  // namespace
+
+bool parseRequest(const std::string& line, Request& out, std::string& error) {
+  out = Request{};
+  JsonValue doc;
+  try {
+    doc = parseJson(line);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  if (!doc.isObject()) {
+    error = "request must be a JSON object";
+    return false;
+  }
+  if (const JsonValue* id = doc.find("id"); id != nullptr && id->isString()) {
+    out.id = id->asString();  // best-effort echo even when the rest fails
+  }
+  try {
+    for (const auto& [key, value] : doc.members()) {
+      if (key == "id") {
+        if (!value.isString()) throw std::invalid_argument("\"id\" must be a string");
+      } else if (key == "kind") {
+        if (!value.isString() || !kindFromName(value.asString(), out.kind)) {
+          throw std::invalid_argument(
+              "unknown kind" +
+              (value.isString() ? " \"" + value.asString() + "\"" : ""));
+        }
+      } else if (key == "priority") {
+        if (!value.isString() ||
+            !priorityFromName(value.asString(), out.priority)) {
+          throw std::invalid_argument("\"priority\" must be high/normal/low");
+        }
+      } else if (key == "deadline_ms") {
+        if (!value.isNumber() || !(value.asNumber() >= 0.0)) {
+          throw std::invalid_argument("\"deadline_ms\" must be a number >= 0");
+        }
+        out.deadlineMs = value.asNumber();
+      } else if (key != "params") {
+        throw std::invalid_argument("unknown request field \"" + key + "\"");
+      }
+    }
+    const JsonValue* kindField = doc.find("kind");
+    if (kindField == nullptr) throw std::invalid_argument("missing \"kind\"");
+    const JsonValue* paramsField = doc.find("params");
+    if (paramsField != nullptr && !paramsField->isObject()) {
+      throw std::invalid_argument("\"params\" must be an object");
+    }
+    out.params = defaultParams(out.kind);
+    ParamReader reader(paramsField);
+    std::visit([&reader](auto& p) { readParams(reader, p); }, out.params);
+    reader.finish();
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- responses
+
+std::string Response::toJsonLine() const {
+  std::string out = "{\"id\":" + quoteJsonString(id);
+  if (hasKind) {
+    out += ",\"kind\":\"";
+    out += kindName(kind);
+    out += '"';
+  }
+  out += ",\"status\":\"";
+  out += statusName(status);
+  out += '"';
+  if (status == ResponseStatus::Ok) {
+    out += ",\"data\":";
+    out += data.empty() ? "{}" : data;
+  } else {
+    out += ",\"error\":" + quoteJsonString(error);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Response makeResponse(const Request& request, const Outcome& outcome) {
+  Response r;
+  r.id = request.id;
+  r.hasKind = true;
+  r.kind = request.kind;
+  r.status = outcome.status;
+  r.data = outcome.data;
+  r.error = outcome.error;
+  return r;
+}
+
+Response makeFailure(const Request& request, ResponseStatus status,
+                     std::string message) {
+  Response r;
+  r.id = request.id;
+  r.hasKind = status != ResponseStatus::Invalid;
+  r.kind = request.kind;
+  r.status = status;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace nano::svc

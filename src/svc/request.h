@@ -1,0 +1,181 @@
+// Typed request/response layer of the evaluation service. A request names
+// one model query — a paper figure/table, a design-space point or grid, a
+// repeater/wire characterization, or a power-grid solve — with typed,
+// default-filled parameters. Two requests asking the same question produce
+// the same canonical key (admission fields like id/priority/deadline are
+// excluded), which is what the result cache and in-flight deduplication
+// key on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace nano::svc {
+
+/// Every query the service answers. Names on the wire are the lowercase
+/// strings from kindName().
+enum class RequestKind {
+  Figure1,        ///< Pstat/Pdyn vs activity series (paper Figure 1)
+  Figure2,        ///< dual-Vth scalability per node (Figure 2)
+  Figure34,       ///< Vdd sweep under the three Vth policies (Figures 3-4)
+  Figure5,        ///< IR-drop linewidth scaling rows (Figure 5)
+  Table2,         ///< analytical Ioff-scaling table
+  DesignPoint,    ///< one (Vdd, Vth) operating point
+  DesignGrid,     ///< the full (Vdd, Vth) exploration grid
+  DesignOptimum,  ///< constrained minimum-power point
+  Repeater,       ///< optimal repeater insertion for a node's global wire
+  Wire,           ///< per-length RC of a node's global wire
+  GridSolve,      ///< one power-grid mesh solve
+  NodeSummary,    ///< end-to-end roadmap-node characterization
+};
+inline constexpr int kRequestKindCount = 12;
+
+/// Stable wire name ("figure1", "design_point", ...).
+const char* kindName(RequestKind kind);
+/// Reverse lookup; returns false for unknown names.
+bool kindFromName(std::string_view name, RequestKind& out);
+
+/// Admission priority: the scheduler drains High before Normal before Low.
+enum class Priority { High, Normal, Low };
+const char* priorityName(Priority priority);
+bool priorityFromName(std::string_view name, Priority& out);
+
+// Per-kind parameters. Fields default to the library's canonical values so
+// a request may omit any of them; the canonical key is rendered from the
+// filled struct, making {"points":9} and {} the same cache entry.
+
+struct Fig1Params {
+  int points = 9;
+};
+struct Fig2Params {};
+struct Fig34Params {
+  int nodeNm = 35;
+  int points = 9;
+  double activity = 0.1;
+  double vddMin = 0.2;
+};
+struct Fig5Params {
+  bool meshCheck = false;
+};
+struct Table2Params {};
+struct DesignPointParams {
+  int nodeNm = 35;
+  double activity = 0.1;
+  double vdd = 0.6;
+  double vth = 0.2;
+};
+struct DesignGridParams {
+  int nodeNm = 35;
+  double activity = 0.1;
+  double vddMin = 0.2;
+  double vthMin = -0.05;
+  double vthMax = 0.30;
+  int vddSteps = 15;
+  int vthSteps = 15;
+};
+struct DesignOptimumParams {
+  DesignGridParams grid;
+  double delayTarget = 1.0;
+  double maxStaticFraction = 1.0;
+};
+struct RepeaterParams {
+  int nodeNm = 35;
+  double widthMultiple = 1.0;
+};
+struct WireParams {
+  int nodeNm = 35;
+  double widthMultiple = 1.0;
+  bool matchSpacing = true;
+};
+struct GridSolveParams {
+  int nodeNm = 35;
+  double widthMultiple = 4.0;
+  /// Bump pitch in um; 0 selects the node's minimum manufacturable pitch.
+  double padPitchUm = 0.0;
+  int subdivisions = 8;
+  bool hotspot = true;
+  /// "auto" | "jacobi" | "multigrid".
+  std::string preconditioner = "auto";
+};
+struct NodeSummaryParams {
+  int nodeNm = 35;
+};
+
+using Params =
+    std::variant<Fig1Params, Fig2Params, Fig34Params, Fig5Params, Table2Params,
+                 DesignPointParams, DesignGridParams, DesignOptimumParams,
+                 RepeaterParams, WireParams, GridSolveParams,
+                 NodeSummaryParams>;
+
+/// One admitted request. `id` is an opaque client token echoed back on the
+/// response; it plays no role in caching.
+struct Request {
+  std::string id;
+  RequestKind kind = RequestKind::Figure1;
+  Priority priority = Priority::Normal;
+  /// Time budget in ms from admission to evaluation start; < 0 means none.
+  /// 0 is deterministically "already expired" (used to test the timeout
+  /// path without racing the clock).
+  double deadlineMs = -1.0;
+  Params params;
+
+  /// Canonical content key: kind plus every parameter (defaults filled) in
+  /// a fixed order with round-trip double formatting. Equal keys <=> same
+  /// evaluation result.
+  [[nodiscard]] std::string canonicalKey() const;
+  /// FNV-1a 64-bit hash of canonicalKey(); shard selector for the cache.
+  [[nodiscard]] std::uint64_t contentHash() const;
+};
+
+/// FNV-1a 64-bit (exposed for tests and the cache's shard selection).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Parse one JSONL request: {"id":..., "kind":..., "priority":...,
+/// "deadline_ms":..., "params":{...}}. Unknown kinds, malformed JSON,
+/// wrong-typed or unknown parameter fields all fail with a message (the
+/// server turns that into a status:"invalid" response). On failure `out.id`
+/// still carries the request id when one could be extracted.
+bool parseRequest(const std::string& line, Request& out, std::string& error);
+
+/// How a request left the service.
+enum class ResponseStatus {
+  Ok,       ///< evaluated (possibly from cache); `data` holds the payload
+  Error,    ///< evaluation failed deterministically (bad node, solver, ...)
+  Invalid,  ///< the request never parsed; nothing was evaluated
+  Shed,     ///< rejected at admission: queue full (backpressure)
+  Timeout,  ///< deadline expired before evaluation started
+};
+const char* statusName(ResponseStatus status);
+
+/// Content-determined result of evaluating a request: what the cache
+/// stores. Only Ok and Error outcomes exist here — Shed/Timeout/Invalid
+/// are admission outcomes, never cached.
+struct Outcome {
+  ResponseStatus status = ResponseStatus::Ok;
+  std::string data;   ///< serialized JSON object (Ok), empty otherwise
+  std::string error;  ///< message (Error), empty otherwise
+};
+
+/// One response line. Everything needed to render
+/// {"id":...,"kind":...,"status":...,"data":{...}} deterministically.
+struct Response {
+  std::string id;
+  bool hasKind = false;
+  RequestKind kind = RequestKind::Figure1;
+  ResponseStatus status = ResponseStatus::Ok;
+  std::string data;
+  std::string error;
+
+  /// The JSONL wire form (no trailing newline).
+  [[nodiscard]] std::string toJsonLine() const;
+};
+
+/// Assemble the response for `request` from a cached or fresh outcome.
+Response makeResponse(const Request& request, const Outcome& outcome);
+/// Response for a request that failed admission (shed/timeout/invalid).
+Response makeFailure(const Request& request, ResponseStatus status,
+                     std::string message);
+
+}  // namespace nano::svc

@@ -1,0 +1,148 @@
+#include "svc/scheduler.h"
+
+#include <utility>
+#include <vector>
+
+#include "exec/exec.h"
+#include "obs/obs.h"
+
+namespace nano::svc {
+
+Scheduler::Scheduler(std::function<Response(const Request&)> handler,
+                     SchedulerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  if (options_.maxQueue == 0) options_.maxQueue = 1;
+  if (options_.maxBatch == 0) options_.maxBatch = 1;
+  batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+std::future<Response> Scheduler::submit(Request request) {
+  return enqueue(std::move(request), /*block=*/false);
+}
+
+std::future<Response> Scheduler::submitBlocking(Request request) {
+  return enqueue(std::move(request), /*block=*/true);
+}
+
+std::future<Response> Scheduler::enqueue(Request request, bool block) {
+  Item item;
+  item.promise = std::promise<Response>();
+  std::future<Response> future = item.promise.get_future();
+  if (request.deadlineMs >= 0.0) {
+    item.hasDeadline = true;
+    item.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            request.deadlineMs));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (block) {
+      spaceCv_.wait(lock, [this] {
+        return stopping_ || queued_ < options_.maxQueue;
+      });
+    }
+    if (stopping_) {
+      lock.unlock();
+      NANO_OBS_COUNT("svc/shed", 1);
+      item.promise.set_value(
+          makeFailure(request, ResponseStatus::Shed, "scheduler stopped"));
+      return future;
+    }
+    if (queued_ >= options_.maxQueue) {
+      lock.unlock();
+      NANO_OBS_COUNT("svc/shed", 1);
+      item.promise.set_value(makeFailure(
+          request, ResponseStatus::Shed,
+          "queue full (" + std::to_string(options_.maxQueue) + " requests)"));
+      return future;
+    }
+    item.request = std::move(request);
+    lanes_[static_cast<int>(item.request.priority)].push_back(std::move(item));
+    ++queued_;
+    if (queued_ + inBatch_ > peakDepth_) {
+      peakDepth_ = queued_ + inBatch_;
+      NANO_OBS_GAUGE("svc/queue_peak", static_cast<double>(peakDepth_));
+    }
+    NANO_OBS_GAUGE("svc/queue_depth", static_cast<double>(queued_));
+  }
+  workCv_.notify_one();
+  return future;
+}
+
+void Scheduler::batcherLoop() {
+  std::vector<Item> batch;
+  batch.reserve(options_.maxBatch);
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      if (queued_ == 0 && stopping_) return;
+      // Priority order: drain High entirely before Normal before Low.
+      for (auto& lane : lanes_) {
+        while (!lane.empty() && batch.size() < options_.maxBatch) {
+          batch.push_back(std::move(lane.front()));
+          lane.pop_front();
+        }
+        if (batch.size() >= options_.maxBatch) break;
+      }
+      queued_ -= batch.size();
+      inBatch_ = batch.size();
+      NANO_OBS_GAUGE("svc/queue_depth", static_cast<double>(queued_));
+    }
+    spaceCv_.notify_all();
+
+    NANO_OBS_COUNT("svc/batches", 1);
+    if (obs::enabled()) {
+      obs::MetricsRegistry::instance()
+          .timer("svc/batch_size")
+          .record(static_cast<double>(batch.size()));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    exec::parallelFor(batch.size(), [&](std::size_t i) {
+      Item& item = batch[i];
+      Response response;
+      if (item.hasDeadline && item.deadline <= now) {
+        NANO_OBS_COUNT("svc/timeouts", 1);
+        response = makeFailure(item.request, ResponseStatus::Timeout,
+                               "deadline expired before evaluation");
+      } else {
+        response = handler_(item.request);
+      }
+      item.promise.set_value(std::move(response));
+    });
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inBatch_ = 0;
+    }
+    idleCv_.notify_all();
+  }
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [this] { return queued_ == 0 && inBatch_ == 0; });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !batcher_.joinable()) return;
+    stopping_ = true;
+  }
+  workCv_.notify_all();
+  spaceCv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+std::size_t Scheduler::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_ + inBatch_;
+}
+
+}  // namespace nano::svc

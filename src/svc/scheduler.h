@@ -1,0 +1,94 @@
+// Admission and dispatch for the evaluation service: a bounded three-lane
+// priority queue drained by one batcher thread that evaluates each batch
+// on the nano::exec pool (requests within a batch run on parallel lanes;
+// nested model parallelism runs inline, so there is no pool deadlock).
+//
+// Overload policy is reject-not-buffer: when the queue is full, submit()
+// completes the request immediately with status "shed" instead of growing
+// without bound or blocking the acceptor (submitBlocking() opts into
+// waiting for space when the caller prefers backpressure to load loss).
+// A request whose deadline expires while queued is completed with status
+// "timeout" at dispatch time, without evaluation.
+//
+// Instrumented: svc/queue_depth + svc/queue_peak gauges, svc/batches and
+// svc/shed and svc/timeouts counters, svc/batch_size sample distribution.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "svc/request.h"
+
+namespace nano::svc {
+
+struct SchedulerOptions {
+  /// Total queued requests across the three lanes before shedding.
+  std::size_t maxQueue = 4096;
+  /// Requests dispatched per exec batch. 1 degenerates to serial dispatch.
+  std::size_t maxBatch = 64;
+};
+
+class Scheduler {
+ public:
+  /// `handler` turns one request into its response; it must be safe to
+  /// call concurrently from exec lanes and must not throw (the service's
+  /// cache+evaluate handler satisfies both).
+  Scheduler(std::function<Response(const Request&)> handler,
+            SchedulerOptions options = {});
+  /// Drains everything still queued, then joins the batcher.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admit one request. Returns a future that completes when the request
+  /// is evaluated (or refused). Never blocks: a full queue sheds, a
+  /// stopped scheduler sheds with "scheduler stopped".
+  std::future<Response> submit(Request request);
+
+  /// Like submit(), but waits for queue space instead of shedding —
+  /// client-side backpressure for trusted in-process callers.
+  std::future<Response> submitBlocking(Request request);
+
+  /// Block until every admitted request has completed.
+  void drain();
+
+  /// Stop accepting and finish queued work; idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t queueDepth() const;
+
+ private:
+  struct Item {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point deadline;
+    bool hasDeadline = false;
+  };
+
+  std::future<Response> enqueue(Request request, bool block);
+  void batcherLoop();
+
+  std::function<Response(const Request&)> handler_;
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable workCv_;   ///< batcher waits: work or stop
+  std::condition_variable spaceCv_;  ///< submitBlocking waits: space
+  std::condition_variable idleCv_;   ///< drain waits: empty and not busy
+  std::array<std::deque<Item>, 3> lanes_;  ///< indexed by Priority
+  std::size_t queued_ = 0;
+  std::size_t inBatch_ = 0;  ///< items currently being evaluated
+  std::size_t peakDepth_ = 0;
+  bool stopping_ = false;
+  std::thread batcher_;
+};
+
+}  // namespace nano::svc

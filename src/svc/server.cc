@@ -1,0 +1,134 @@
+#include "svc/server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace nano::svc {
+
+Service::Service(ServiceOptions options)
+    : options_(options),
+      cache_(options.cacheEntries, options.cacheShards),
+      scheduler_(
+          [this](const Request& request) {
+            return makeResponse(
+                request, cache_.getOrCompute(request.canonicalKey(),
+                                             [&] { return evaluate(request); }));
+          },
+          options.scheduler) {}
+
+std::future<Response> Service::submit(Request request) {
+  NANO_OBS_COUNT("svc/requests", 1);
+  return options_.blockWhenFull ? scheduler_.submitBlocking(std::move(request))
+                                : scheduler_.submit(std::move(request));
+}
+
+Response Service::call(Request request) {
+  return submit(std::move(request)).get();
+}
+
+void Service::drain() { scheduler_.drain(); }
+
+namespace {
+
+/// Bounded hand-off of pending responses from the reader to the emitter,
+/// preserving submission order. Ready failure responses count too, so a
+/// flood of sheds cannot grow memory without bound: the reader waits once
+/// `limit` responses are pending emission.
+class EmitQueue {
+ public:
+  explicit EmitQueue(std::size_t limit) : limit_(limit) {}
+
+  void push(std::future<Response> f) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    spaceCv_.wait(lock, [this] { return pending_.size() < limit_; });
+    pending_.push_back(std::move(f));
+    lock.unlock();
+    itemCv_.notify_one();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    itemCv_.notify_all();
+  }
+
+  /// Next future in submission order; false at end of stream.
+  bool pop(std::future<Response>& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    itemCv_.wait(lock, [this] { return !pending_.empty() || closed_; });
+    if (pending_.empty()) return false;
+    out = std::move(pending_.front());
+    pending_.pop_front();
+    lock.unlock();
+    spaceCv_.notify_one();
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable itemCv_, spaceCv_;
+  std::deque<std::future<Response>> pending_;
+  std::size_t limit_;
+  bool closed_ = false;
+};
+
+std::future<Response> readyResponse(Response response) {
+  std::promise<Response> p;
+  p.set_value(std::move(response));
+  return p.get_future();
+}
+
+}  // namespace
+
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service) {
+  ServerStats stats;
+  EmitQueue queue(8192);
+  std::mutex statsMutex;
+
+  std::thread emitter([&] {
+    std::future<Response> next;
+    while (queue.pop(next)) {
+      const Response response = next.get();
+      out << response.toJsonLine() << '\n';
+      std::lock_guard<std::mutex> lock(statsMutex);
+      switch (response.status) {
+        case ResponseStatus::Ok: ++stats.ok; break;
+        case ResponseStatus::Error: ++stats.errors; break;
+        case ResponseStatus::Invalid: ++stats.invalid; break;
+        case ResponseStatus::Shed: ++stats.shed; break;
+        case ResponseStatus::Timeout: ++stats.timeouts; break;
+      }
+    }
+    out.flush();
+  });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (line.empty()) continue;
+    ++stats.lines;
+    Request request;
+    std::string error;
+    if (!parseRequest(line, request, error)) {
+      NANO_OBS_COUNT("svc/invalid", 1);
+      queue.push(readyResponse(
+          makeFailure(request, ResponseStatus::Invalid, error)));
+      continue;
+    }
+    queue.push(service.submit(std::move(request)));
+  }
+  queue.close();
+  emitter.join();
+  return stats;
+}
+
+}  // namespace nano::svc

@@ -1,0 +1,72 @@
+// The long-running evaluation service (`nanod`): wires the result cache,
+// the scheduler, and the evaluator into one object, plus a JSON-lines
+// front end that reads one request per line from a stream and emits one
+// response per line in input order (so a replayed trace is byte-stable).
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <iosfwd>
+#include <string>
+
+#include "svc/cache.h"
+#include "svc/eval.h"
+#include "svc/scheduler.h"
+
+namespace nano::svc {
+
+struct ServiceOptions {
+  /// Result-cache entries across all shards (0 disables caching+dedup).
+  std::size_t cacheEntries = 4096;
+  int cacheShards = 8;
+  SchedulerOptions scheduler;
+  /// Overload policy for submit(): false (default) sheds with a structured
+  /// status when the queue is full; true blocks the submitter instead —
+  /// use for replay/batch clients where losing requests is worse than
+  /// slowing the reader.
+  bool blockWhenFull = false;
+};
+
+/// A running service instance: thread-safe, many concurrent submitters.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admit one request (already parsed). Counts svc/requests.
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience: submit and wait.
+  Response call(Request request);
+
+  /// Wait until everything admitted so far has completed.
+  void drain();
+
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] std::size_t queueDepth() const { return scheduler_.queueDepth(); }
+
+ private:
+  ServiceOptions options_;
+  ResultCache cache_;
+  Scheduler scheduler_;  ///< last member: stops before cache destructs
+};
+
+/// Tally of one runServer() session, by response status.
+struct ServerStats {
+  std::size_t lines = 0;     ///< non-blank input lines consumed
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  std::size_t invalid = 0;
+  std::size_t shed = 0;
+  std::size_t timeouts = 0;
+};
+
+/// Serve JSONL requests from `in` until EOF: one response line per request
+/// line, in input order (responses to later requests never overtake
+/// earlier ones even when evaluation reorders). Blank lines are skipped;
+/// unparseable lines produce status:"invalid" responses and keep serving.
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service);
+
+}  // namespace nano::svc

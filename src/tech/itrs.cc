@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace nano::tech {
@@ -87,11 +89,23 @@ const std::vector<TechNode>& roadmap() {
 }
 
 const TechNode& nodeByFeature(int featureNm) {
-  for (const TechNode& n : roadmap()) {
-    if (n.featureNm == featureNm) return n;
+  // Sweeps and the svc evaluation layer look the same handful of nodes up
+  // millions of times; an immutable feature->node index built once beats
+  // re-scanning the table on every query. The map is initialized under the
+  // static-local guard and never mutated after, so lookups are lock-free
+  // and thread-safe.
+  static const std::unordered_map<int, const TechNode*> kByFeature = [] {
+    std::unordered_map<int, const TechNode*> index;
+    for (const TechNode& n : roadmap()) index.emplace(n.featureNm, &n);
+    return index;
+  }();
+  const auto it = kByFeature.find(featureNm);
+  if (it == kByFeature.end()) {
+    throw std::out_of_range("nodeByFeature: not on roadmap: " +
+                            std::to_string(featureNm) + " nm");
   }
-  throw std::out_of_range("nodeByFeature: not on roadmap: " +
-                          std::to_string(featureNm) + " nm");
+  NANO_OBS_COUNT("tech/node_lookup_reuses", 1);
+  return *it->second;
 }
 
 std::array<int, 6> roadmapFeatures() { return {180, 130, 100, 70, 50, 35}; }

@@ -147,9 +147,13 @@ inline CsvTable parseCsvText(const std::string& text) {
       endCell();
     } else if (c == '\n') {
       endRecord();
-    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+    } else if (c == '\r') {
+      // CRLF (consume both) or a bare/final CR: either way the record ends
+      // here, so a CRLF checkout whose last line lost its LF still parses.
+      // Unquoted cells can never legitimately contain CR (the writer
+      // quotes them), so treating CR as a terminator loses nothing.
       endRecord();
-      ++i;
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
     } else {
       cell.push_back(c);
       cellStarted = true;

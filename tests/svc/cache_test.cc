@@ -1,0 +1,160 @@
+#include "svc/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace nano::svc {
+namespace {
+
+Outcome okOutcome(const std::string& payload) {
+  Outcome o;
+  o.status = ResponseStatus::Ok;
+  o.data = payload;
+  return o;
+}
+
+TEST(ResultCache, MissComputesThenHitsServeCached) {
+  ResultCache cache(16, 1);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return okOutcome("payload");
+  };
+  EXPECT_EQ(cache.getOrCompute("k", compute).data, "payload");
+  EXPECT_EQ(cache.getOrCompute("k", compute).data, "payload");
+  EXPECT_EQ(cache.getOrCompute("k", compute).data, "payload");
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, DistinctKeysComputeSeparately) {
+  ResultCache cache(16, 4);
+  int computes = 0;
+  for (const char* key : {"a", "b", "c", "a", "b"}) {
+    cache.getOrCompute(key, [&] {
+      ++computes;
+      return okOutcome(key);
+    });
+  }
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.getOrCompute("c", [] { return okOutcome("wrong"); }).data,
+            "c");
+}
+
+TEST(ResultCache, LruEvictsColdestWithinShard) {
+  ResultCache cache(2, 1);  // one shard, two entries
+  int computes = 0;
+  auto computeNamed = [&](const std::string& key) {
+    return cache.getOrCompute(key, [&] {
+      ++computes;
+      return okOutcome(key);
+    });
+  };
+  computeNamed("a");
+  computeNamed("b");
+  computeNamed("a");  // touch a: b is now coldest
+  computeNamed("c");  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(computes, 3);
+  computeNamed("a");  // still cached
+  EXPECT_EQ(computes, 3);
+  computeNamed("b");  // recomputes
+  EXPECT_EQ(computes, 4);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return okOutcome("x");
+  };
+  cache.getOrCompute("k", compute);
+  cache.getOrCompute("k", compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, ClearForgetsEverything) {
+  ResultCache cache(16);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return okOutcome("x");
+  };
+  cache.getOrCompute("k", compute);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.getOrCompute("k", compute);
+  EXPECT_EQ(computes, 2);
+}
+
+TEST(ResultCache, ErrorOutcomesAreCachedToo) {
+  ResultCache cache(16);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    Outcome o;
+    o.status = ResponseStatus::Error;
+    o.error = "deterministically bad";
+    return o;
+  };
+  EXPECT_EQ(cache.getOrCompute("bad", compute).status, ResponseStatus::Error);
+  EXPECT_EQ(cache.getOrCompute("bad", compute).error, "deterministically bad");
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(ResultCache, ConcurrentSameKeyComputesOnce) {
+  ResultCache cache(64, 8);
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = cache
+                       .getOrCompute("shared",
+                                     [&] {
+                                       // Widen the race window so joiners
+                                       // actually wait on the in-flight slot.
+                                       std::this_thread::sleep_for(
+                                           std::chrono::milliseconds(20));
+                                       computes.fetch_add(1);
+                                       return okOutcome("one-true-payload");
+                                     })
+                       .data;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(computes.load(), 1);
+  for (const std::string& r : results) EXPECT_EQ(r, "one-true-payload");
+}
+
+TEST(ResultCache, ObsCountersTrackHitsMissesDedup) {
+  obs::MetricsRegistry::instance().reset();
+  const bool was = obs::enabled();
+  obs::setEnabled(true);
+  {
+    ResultCache cache(16, 2);
+    auto compute = [] { return okOutcome("x"); };
+    cache.getOrCompute("a", compute);
+    cache.getOrCompute("a", compute);
+    cache.getOrCompute("b", compute);
+  }
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_EQ(reg.counter("svc/cache_misses").value(), 2);
+  EXPECT_EQ(reg.counter("svc/cache_hits").value(), 1);
+  obs::setEnabled(was);
+  obs::MetricsRegistry::instance().reset();
+}
+
+}  // namespace
+}  // namespace nano::svc

@@ -1,0 +1,166 @@
+#include "svc/request.h"
+
+#include <gtest/gtest.h>
+
+#include "svc/json.h"
+
+namespace nano::svc {
+namespace {
+
+Request mustParse(const std::string& line) {
+  Request r;
+  std::string error;
+  EXPECT_TRUE(parseRequest(line, r, error)) << error;
+  return r;
+}
+
+std::string mustFail(const std::string& line) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(parseRequest(line, r, error)) << line;
+  return error;
+}
+
+TEST(RequestParse, MinimalRequestFillsDefaults) {
+  const Request r = mustParse(R"({"kind":"design_point"})");
+  EXPECT_EQ(r.kind, RequestKind::DesignPoint);
+  EXPECT_EQ(r.id, "");
+  EXPECT_EQ(r.priority, Priority::Normal);
+  EXPECT_LT(r.deadlineMs, 0.0);
+  const auto& p = std::get<DesignPointParams>(r.params);
+  EXPECT_EQ(p.nodeNm, 35);
+  EXPECT_DOUBLE_EQ(p.activity, 0.1);
+}
+
+TEST(RequestParse, AllFieldsRead) {
+  const Request r = mustParse(
+      R"({"id":"q7","kind":"grid_solve","priority":"high","deadline_ms":250,)"
+      R"("params":{"node_nm":50,"width_multiple":8,"subdivisions":16,)"
+      R"("hotspot":false,"preconditioner":"multigrid"}})");
+  EXPECT_EQ(r.id, "q7");
+  EXPECT_EQ(r.priority, Priority::High);
+  EXPECT_DOUBLE_EQ(r.deadlineMs, 250.0);
+  const auto& p = std::get<GridSolveParams>(r.params);
+  EXPECT_EQ(p.nodeNm, 50);
+  EXPECT_DOUBLE_EQ(p.widthMultiple, 8.0);
+  EXPECT_EQ(p.subdivisions, 16);
+  EXPECT_FALSE(p.hotspot);
+  EXPECT_EQ(p.preconditioner, "multigrid");
+}
+
+TEST(RequestParse, EveryKindNameRoundTrips) {
+  for (int i = 0; i < kRequestKindCount; ++i) {
+    const auto kind = static_cast<RequestKind>(i);
+    RequestKind parsed;
+    ASSERT_TRUE(kindFromName(kindName(kind), parsed)) << kindName(kind);
+    EXPECT_EQ(parsed, kind);
+    const Request r = mustParse(std::string(R"({"kind":")") + kindName(kind) +
+                                R"("})");
+    EXPECT_EQ(r.kind, kind);
+  }
+}
+
+TEST(RequestParse, RejectsBadInput) {
+  EXPECT_NE(mustFail("not json").find("parseJson"), std::string::npos);
+  EXPECT_NE(mustFail("[1]").find("object"), std::string::npos);
+  EXPECT_NE(mustFail(R"({"id":"x"})").find("missing \"kind\""),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"warp_drive"})").find("unknown kind"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","params":{"pints":9}})")
+                .find("unknown parameter"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","params":{"points":"nine"}})")
+                .find("must be a number"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","params":{"points":2.5}})")
+                .find("integer"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","deadline_ms":-5})")
+                .find("deadline_ms"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","priority":"urgent"})")
+                .find("priority"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"figure1","extra":1})")
+                .find("unknown request field"),
+            std::string::npos);
+  EXPECT_NE(
+      mustFail(R"({"kind":"grid_solve","params":{"preconditioner":"lu"}})")
+          .find("preconditioner"),
+      std::string::npos);
+}
+
+TEST(RequestParse, IdSurvivesParseFailure) {
+  Request r;
+  std::string error;
+  EXPECT_FALSE(parseRequest(R"({"id":"keep-me","kind":"warp"})", r, error));
+  EXPECT_EQ(r.id, "keep-me");
+}
+
+TEST(CanonicalKey, DefaultsAndExplicitDefaultsCollide) {
+  const Request implicit = mustParse(R"({"kind":"figure1"})");
+  const Request explicitDefaults =
+      mustParse(R"({"id":"other","kind":"figure1","params":{"points":9}})");
+  EXPECT_EQ(implicit.canonicalKey(), explicitDefaults.canonicalKey());
+  EXPECT_EQ(implicit.contentHash(), explicitDefaults.contentHash());
+}
+
+TEST(CanonicalKey, AdmissionFieldsDoNotAffectKey) {
+  const Request plain = mustParse(R"({"kind":"table2"})");
+  const Request dressed = mustParse(
+      R"({"id":"x","kind":"table2","priority":"low","deadline_ms":9000})");
+  EXPECT_EQ(plain.canonicalKey(), dressed.canonicalKey());
+}
+
+TEST(CanonicalKey, ParameterChangesChangeKey) {
+  const Request a =
+      mustParse(R"({"kind":"design_point","params":{"vdd":0.5}})");
+  const Request b =
+      mustParse(R"({"kind":"design_point","params":{"vdd":0.51}})");
+  EXPECT_NE(a.canonicalKey(), b.canonicalKey());
+  EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(CanonicalKey, IsReadableAndKindPrefixed) {
+  const Request r =
+      mustParse(R"({"kind":"design_point","params":{"vdd":0.5,"vth":0.15}})");
+  EXPECT_EQ(r.canonicalKey(),
+            "design_point(node_nm=35,activity=0.1,vdd=0.5,vth=0.15)");
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("foobar"), 9625390261332436968ull);
+}
+
+TEST(ResponseLine, OkCarriesDataAndKind) {
+  const Request r = mustParse(R"({"id":"r9","kind":"wire"})");
+  Outcome outcome;
+  outcome.status = ResponseStatus::Ok;
+  outcome.data = R"({"x":1})";
+  const Response resp = makeResponse(r, outcome);
+  EXPECT_EQ(resp.toJsonLine(),
+            R"({"id":"r9","kind":"wire","status":"ok","data":{"x":1}})");
+  // The line itself must be valid JSON.
+  EXPECT_NO_THROW(parseJson(resp.toJsonLine()));
+}
+
+TEST(ResponseLine, FailureCarriesErrorNotData) {
+  const Request r = mustParse(R"({"id":"r1","kind":"figure2"})");
+  const Response shed =
+      makeFailure(r, ResponseStatus::Shed, "queue full (4 requests)");
+  EXPECT_EQ(
+      shed.toJsonLine(),
+      R"x({"id":"r1","kind":"figure2","status":"shed","error":"queue full (4 requests)"})x");
+  Request unparsed;
+  unparsed.id = "mystery";
+  const Response invalid =
+      makeFailure(unparsed, ResponseStatus::Invalid, "bad \"kind\"");
+  EXPECT_EQ(invalid.toJsonLine(),
+            R"({"id":"mystery","status":"invalid","error":"bad \"kind\""})");
+}
+
+}  // namespace
+}  // namespace nano::svc

@@ -1,0 +1,242 @@
+#include "svc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nano::svc {
+namespace {
+
+Request requestNamed(const std::string& id,
+                     Priority priority = Priority::Normal) {
+  Request r;
+  r.id = id;
+  r.kind = RequestKind::Figure2;
+  r.priority = priority;
+  r.params = Fig2Params{};
+  return r;
+}
+
+TEST(Scheduler, EvaluatesSubmittedRequests) {
+  Scheduler scheduler(
+      [](const Request& r) {
+        Outcome o;
+        o.data = "{}";
+        return makeResponse(r, o);
+      },
+      {});
+  auto f = scheduler.submit(requestNamed("r1"));
+  const Response resp = f.get();
+  EXPECT_EQ(resp.status, ResponseStatus::Ok);
+  EXPECT_EQ(resp.id, "r1");
+}
+
+/// A handler that blocks until released, so tests can hold the batcher
+/// busy and fill the queue deterministically.
+class GatedHandler {
+ public:
+  Response operator()(const Request& request) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      enteredCv_.notify_all();
+      releaseCv_.wait(lock, [this] { return released_; });
+    }
+    order_.push_back(request.id);
+    Outcome o;
+    o.data = "{}";
+    return makeResponse(request, o);
+  }
+
+  void waitUntilEntered(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    enteredCv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    releaseCv_.notify_all();
+  }
+
+  /// Completion order (only safe to read after all futures resolved AND
+  /// batches are serial, i.e. exec at 1 lane).
+  const std::vector<std::string>& order() const { return order_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable enteredCv_, releaseCv_;
+  int entered_ = 0;
+  bool released_ = false;
+  std::vector<std::string> order_;
+};
+
+TEST(Scheduler, ShedsWithStructuredStatusWhenQueueFull) {
+  SchedulerOptions options;
+  options.maxQueue = 3;
+  options.maxBatch = 1;
+  GatedHandler gate;
+  Scheduler scheduler([&gate](const Request& r) { return gate(r); }, options);
+
+  // First request enters the batcher and parks in the handler; the queue
+  // itself is now empty, so three more fit, and everything past that must
+  // shed immediately (without blocking this thread).
+  auto parked = scheduler.submit(requestNamed("parked"));
+  gate.waitUntilEntered(1);
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(scheduler.submit(requestNamed("q" + std::to_string(i))));
+  }
+  const auto before = std::chrono::steady_clock::now();
+  auto shedF = scheduler.submit(requestNamed("overflow"));
+  const Response shed = shedF.get();
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_EQ(shed.status, ResponseStatus::Shed);
+  EXPECT_NE(shed.error.find("queue full"), std::string::npos);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0)
+      << "shedding must not block";
+
+  gate.release();
+  EXPECT_EQ(parked.get().status, ResponseStatus::Ok);
+  for (auto& f : queued) EXPECT_EQ(f.get().status, ResponseStatus::Ok);
+}
+
+TEST(Scheduler, PriorityLanesDrainHighBeforeNormalBeforeLow) {
+  SchedulerOptions options;
+  options.maxQueue = 16;
+  options.maxBatch = 1;  // serial dispatch => completion order == drain order
+  GatedHandler gate;
+  Scheduler scheduler([&gate](const Request& r) { return gate(r); }, options);
+
+  auto parked = scheduler.submit(requestNamed("parked"));
+  gate.waitUntilEntered(1);
+  std::vector<std::future<Response>> futures;
+  futures.push_back(scheduler.submit(requestNamed("low1", Priority::Low)));
+  futures.push_back(scheduler.submit(requestNamed("norm1", Priority::Normal)));
+  futures.push_back(scheduler.submit(requestNamed("high1", Priority::High)));
+  futures.push_back(scheduler.submit(requestNamed("norm2", Priority::Normal)));
+  futures.push_back(scheduler.submit(requestNamed("high2", Priority::High)));
+  gate.release();
+  for (auto& f : futures) f.get();
+  scheduler.drain();
+
+  const std::vector<std::string> expected = {"parked", "high1", "high2",
+                                             "norm1", "norm2", "low1"};
+  EXPECT_EQ(gate.order(), expected);
+}
+
+TEST(Scheduler, ZeroDeadlineTimesOutDeterministically) {
+  std::atomic<int> evaluated{0};
+  Scheduler scheduler(
+      [&](const Request& r) {
+        evaluated.fetch_add(1);
+        Outcome o;
+        o.data = "{}";
+        return makeResponse(r, o);
+      },
+      {});
+  Request r = requestNamed("late");
+  r.deadlineMs = 0.0;
+  const Response resp = scheduler.submit(std::move(r)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::Timeout);
+  EXPECT_EQ(evaluated.load(), 0);
+
+  // A generous deadline is not triggered.
+  Request ok = requestNamed("on-time");
+  ok.deadlineMs = 60000.0;
+  EXPECT_EQ(scheduler.submit(std::move(ok)).get().status, ResponseStatus::Ok);
+  EXPECT_EQ(evaluated.load(), 1);
+}
+
+TEST(Scheduler, SubmitAfterStopSheds) {
+  Scheduler scheduler(
+      [](const Request& r) {
+        Outcome o;
+        o.data = "{}";
+        return makeResponse(r, o);
+      },
+      {});
+  scheduler.stop();
+  const Response resp = scheduler.submit(requestNamed("too-late")).get();
+  EXPECT_EQ(resp.status, ResponseStatus::Shed);
+  EXPECT_NE(resp.error.find("stopped"), std::string::npos);
+}
+
+TEST(Scheduler, DrainWaitsForAllAdmittedWork) {
+  std::atomic<int> completed{0};
+  Scheduler scheduler(
+      [&](const Request& r) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+        Outcome o;
+        o.data = "{}";
+        return makeResponse(r, o);
+      },
+      {});
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(scheduler.submit(requestNamed(std::to_string(i))));
+  }
+  scheduler.drain();
+  EXPECT_EQ(completed.load(), 50);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(Scheduler, DestructorCompletesQueuedPromises) {
+  std::vector<std::future<Response>> futures;
+  {
+    Scheduler scheduler(
+        [](const Request& r) {
+          Outcome o;
+          o.data = "{}";
+          return makeResponse(r, o);
+        },
+        {});
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(scheduler.submit(requestNamed(std::to_string(i))));
+    }
+  }  // ~Scheduler drains
+  for (auto& f : futures) EXPECT_EQ(f.get().status, ResponseStatus::Ok);
+}
+
+TEST(Scheduler, SubmitBlockingWaitsInsteadOfShedding) {
+  SchedulerOptions options;
+  options.maxQueue = 2;
+  options.maxBatch = 1;
+  GatedHandler gate;
+  Scheduler scheduler([&gate](const Request& r) { return gate(r); }, options);
+  auto parked = scheduler.submit(requestNamed("parked"));
+  gate.waitUntilEntered(1);
+  auto q0 = scheduler.submit(requestNamed("q0"));
+  auto q1 = scheduler.submit(requestNamed("q1"));
+
+  // Queue is full; a blocking submit must wait, then succeed once the
+  // batcher frees a slot.
+  std::atomic<bool> admitted{false};
+  std::thread blocker([&] {
+    auto f = scheduler.submitBlocking(requestNamed("patient"));
+    admitted.store(true);
+    EXPECT_EQ(f.get().status, ResponseStatus::Ok);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load());
+  gate.release();
+  blocker.join();
+  EXPECT_TRUE(admitted.load());
+  for (auto* f : {&parked, &q0, &q1}) {
+    EXPECT_EQ(f->get().status, ResponseStatus::Ok);
+  }
+}
+
+}  // namespace
+}  // namespace nano::svc

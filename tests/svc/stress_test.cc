@@ -1,0 +1,134 @@
+// Multi-producer stress for the service stack (run under TSan in CI):
+// several threads hammer one Service with overlapping request mixes and we
+// assert the three properties the design promises — each unique query
+// computes exactly once (dedup), the admission queue stays bounded, and
+// the payload for a given key is identical no matter which producer asked
+// or how many exec lanes evaluated it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.h"
+#include "obs/obs.h"
+#include "svc/server.h"
+
+namespace nano::svc {
+namespace {
+
+constexpr int kUnique = 20;
+constexpr int kProducers = 4;
+constexpr int kPerProducer = 150;
+constexpr std::size_t kMaxQueue = 64;
+
+/// A small pool of cheap distinct queries that every producer draws from,
+/// so the same keys are in flight from several threads at once.
+std::vector<Request> uniquePool() {
+  std::vector<Request> pool;
+  for (int u = 0; u < kUnique; ++u) {
+    Request r;
+    if (u % 2 == 0) {
+      r.kind = RequestKind::DesignPoint;
+      DesignPointParams p;
+      p.vdd = 0.45 + 0.01 * u;
+      r.params = p;
+    } else {
+      r.kind = RequestKind::Wire;
+      WireParams p;
+      p.widthMultiple = 1.0 + 0.25 * u;
+      r.params = p;
+    }
+    pool.push_back(std::move(r));
+  }
+  return pool;
+}
+
+/// Runs the full stress at a given lane count and returns key -> payload.
+std::map<std::string, std::string> runStress(int lanes) {
+  exec::setGlobalThreadCount(lanes);
+  ServiceOptions options;
+  options.blockWhenFull = true;  // producers back off instead of losing work
+  options.scheduler.maxQueue = kMaxQueue;
+  options.scheduler.maxBatch = 8;
+  Service service(options);
+
+  const std::vector<Request> pool = uniquePool();
+  std::mutex resultsMutex;
+  std::map<std::string, std::set<std::string>> payloadsByKey;
+  std::atomic<std::size_t> peakDepth{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Stride differently per producer so mixes overlap but interleave.
+        Request r = pool[static_cast<std::size_t>(t * 7 + i) % kUnique];
+        r.id = std::to_string(t) + "-" + std::to_string(i);
+        const std::string key = r.canonicalKey();
+        auto future = service.submit(std::move(r));
+        const std::size_t depth = service.queueDepth();
+        std::size_t seen = peakDepth.load();
+        while (depth > seen && !peakDepth.compare_exchange_weak(seen, depth)) {
+        }
+        const Response response = future.get();
+        if (response.status != ResponseStatus::Ok) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(resultsMutex);
+        payloadsByKey[key].insert(response.data);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  service.drain();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(peakDepth.load(), kMaxQueue) << "admission queue must be bounded";
+  EXPECT_EQ(payloadsByKey.size(), static_cast<std::size_t>(kUnique));
+
+  std::map<std::string, std::string> payloads;
+  for (const auto& [key, variants] : payloadsByKey) {
+    EXPECT_EQ(variants.size(), 1u)
+        << "key " << key << " produced " << variants.size()
+        << " distinct payloads";
+    if (!variants.empty()) payloads.emplace(key, *variants.begin());
+  }
+  return payloads;
+}
+
+TEST(SvcStress, OverlappingProducersDedupBoundAndStayDeterministic) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const bool wasEnabled = obs::enabled();
+  registry.reset();
+  obs::setEnabled(true);
+
+  const std::map<std::string, std::string> serial = runStress(1);
+  const double serialMisses = registry.counter("svc/cache_misses").value();
+  // With the cache far larger than the pool, every unique query computes
+  // exactly once — concurrent duplicates either hit or join in flight.
+  EXPECT_EQ(serialMisses, kUnique);
+
+  const std::map<std::string, std::string> wide = runStress(8);
+  EXPECT_EQ(registry.counter("svc/cache_misses").value() - serialMisses,
+            kUnique);
+
+  obs::setEnabled(wasEnabled);
+  registry.reset();
+  exec::setGlobalThreadCount(exec::defaultThreadCount());
+
+  EXPECT_EQ(serial, wide)
+      << "payloads must be identical at 1 and 8 exec lanes";
+}
+
+}  // namespace
+}  // namespace nano::svc

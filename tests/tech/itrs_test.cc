@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace nano::tech {
@@ -107,6 +108,22 @@ TEST(Roadmap, FeatureListMatchesDatabase) {
   for (int f : roadmapFeatures()) {
     EXPECT_NO_THROW(nodeByFeature(f));
   }
+}
+
+TEST(Roadmap, IndexedLookupCountsReuses) {
+  // nodeByFeature is indexed (no linear roadmap scan per call); each
+  // successful lookup bumps the reuse counter, misses do not.
+  auto& registry = nano::obs::MetricsRegistry::instance();
+  const bool wasEnabled = nano::obs::enabled();
+  registry.reset();
+  nano::obs::setEnabled(true);
+  nodeByFeature(35);
+  nodeByFeature(35);
+  nodeByFeature(180);
+  EXPECT_THROW(nodeByFeature(90), std::out_of_range);
+  EXPECT_EQ(registry.counter("tech/node_lookup_reuses").value(), 3);
+  nano::obs::setEnabled(wasEnabled);
+  registry.reset();
 }
 
 TEST(Roadmap, BumpPitchShrinksButPadCountLags) {

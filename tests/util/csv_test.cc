@@ -179,6 +179,39 @@ TEST_F(CsvTest, ReaderHandlesCrlfAndMissingFinalNewline) {
   EXPECT_DOUBLE_EQ(table.number(1, 1), 4.0);
 }
 
+TEST_F(CsvTest, CrlfRewriteWithLostFinalNewlineRoundTrips) {
+  // A Windows checkout (LF -> CRLF) whose final newline was also lost —
+  // e.g. a truncated transfer — must parse to the same table as the
+  // writer's pristine output.
+  {
+    CsvWriter w(path_, {"node_nm", "note"});
+    w.row(std::vector<std::string>{"180", "plain"});
+    w.row(std::vector<std::string>{"35", "comma, inside"});
+  }
+  const std::string pristine = slurp(path_);
+  std::string mangled;
+  for (char c : pristine) {
+    if (c == '\n') mangled += "\r\n";
+    else mangled += c;
+  }
+  while (!mangled.empty() && (mangled.back() == '\n' || mangled.back() == '\r')) {
+    mangled.pop_back();
+  }
+  const CsvTable original = parseCsvText(pristine);
+  const CsvTable rewritten = parseCsvText(mangled);
+  EXPECT_EQ(rewritten.header, original.header);
+  EXPECT_EQ(rewritten.rows, original.rows);
+}
+
+TEST_F(CsvTest, QuotedCellsKeepCarriageReturns) {
+  // CR only terminates records outside quotes; a quoted cell that
+  // legitimately contains CRLF keeps it verbatim.
+  const CsvTable table = parseCsvText("a,b\r\n\"x\r\ny\",2");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "x\r\ny");
+  EXPECT_DOUBLE_EQ(table.number(0, 1), 2.0);
+}
+
 TEST_F(CsvTest, ReaderRejectsMalformedInput) {
   EXPECT_THROW(parseCsvText("a,b\n1\n"), std::invalid_argument);
   EXPECT_THROW(parseCsvText("a\n\"unterminated\n"), std::invalid_argument);

@@ -1,0 +1,110 @@
+// nanod — the batched, caching evaluation server over the model library.
+// Reads one JSON request per line from stdin (or a file via --input) and
+// writes one JSON response per line to stdout, in input order. See
+// docs/SERVICE.md for the request schema.
+//
+//   echo '{"id":"p1","kind":"design_point","params":{"vdd":0.5,"vth":0.15}}' |
+//     nanod
+//
+// Diagnostics (--stats, --report) go to stderr so stdout stays a pure
+// response stream suitable for golden diffs.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.h"
+#include "svc/server.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: nanod [options] < requests.jsonl > responses.jsonl\n"
+        "  --input FILE    read requests from FILE instead of stdin\n"
+        "  --cache N       result-cache entries (default 4096; 0 disables)\n"
+        "  --queue N       scheduler queue bound before shedding (default 4096)\n"
+        "  --batch N       max requests per dispatch batch (default 64)\n"
+        "  --block         block the reader when the queue is full instead of\n"
+        "                  shedding (replay/batch mode)\n"
+        "  --stats         print a one-line session summary to stderr\n"
+        "  --report        enable observability and print the run report to\n"
+        "                  stderr at exit (NANO_OBS=1 also enables metrics)\n"
+        "  --help          this text\n";
+}
+
+long parseCount(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 0) {
+    std::cerr << "nanod: " << flag << " expects a non-negative integer, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  nano::svc::ServiceOptions options;
+  std::string inputPath;
+  bool stats = false;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "nanod: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      inputPath = value();
+    } else if (arg == "--cache") {
+      options.cacheEntries = static_cast<std::size_t>(parseCount(arg, value()));
+    } else if (arg == "--queue") {
+      options.scheduler.maxQueue =
+          static_cast<std::size_t>(parseCount(arg, value()));
+    } else if (arg == "--batch") {
+      options.scheduler.maxBatch =
+          static_cast<std::size_t>(parseCount(arg, value()));
+    } else if (arg == "--block") {
+      options.blockWhenFull = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--report") {
+      report = true;
+      nano::obs::setEnabled(true);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "nanod: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  std::ifstream file;
+  if (!inputPath.empty()) {
+    file.open(inputPath);
+    if (!file) {
+      std::cerr << "nanod: cannot open " << inputPath << '\n';
+      return 1;
+    }
+  }
+  std::istream& in = inputPath.empty() ? std::cin : file;
+
+  nano::svc::Service service(options);
+  const nano::svc::ServerStats s = nano::svc::runServer(in, std::cout, service);
+
+  if (stats) {
+    std::cerr << "nanod: " << s.lines << " requests: " << s.ok << " ok, "
+              << s.errors << " error, " << s.invalid << " invalid, " << s.shed
+              << " shed, " << s.timeouts << " timeout\n";
+  }
+  if (report) nano::obs::printRunReport(std::cerr);
+  return 0;
+}
