@@ -24,6 +24,7 @@ thread_local bool tlsInsideRegion = false;
 struct ThreadPool::Job {
   std::size_t n = 0;
   std::size_t grain = 1;
+  obs::TraceContext trace;  ///< caller's context, reinstalled on workers
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};      ///< item-claim cursor
   std::atomic<bool> cancelled{false};    ///< set on first exception
@@ -62,7 +63,12 @@ void ThreadPool::workerLoop() {
     ++job->active;
     lk.unlock();
     tlsInsideRegion = true;
-    runChunks(*job, /*isWorker=*/true);
+    {
+      // Bridge the submitting request's identity onto this worker so
+      // anything the body records is attributed to the right trace.
+      const obs::TraceContextScope scope(job->trace);
+      runChunks(*job, /*isWorker=*/true);
+    }
     tlsInsideRegion = false;
     lk.lock();
     if (--job->active == 0) cv_.notify_all();
@@ -70,6 +76,10 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::runChunks(Job& job, bool isWorker) {
+  // One synchronous span per lane per region: every 'B' here gets its
+  // matching 'E' on the same thread even when a body throws.
+  const obs::TraceSpan span("exec", isWorker ? "region.worker" : "region",
+                            job.trace);
   for (;;) {
     if (job.cancelled.load(std::memory_order_relaxed)) return;
     const std::size_t begin =
@@ -108,6 +118,7 @@ void ThreadPool::parallelForBlocked(
   Job job;
   job.n = n;
   job.grain = grain;
+  job.trace = obs::currentTraceContext();
   job.body = &body;
   {
     std::lock_guard<std::mutex> lk(mutex_);

@@ -49,7 +49,9 @@ void writeTimerObject(std::ostream& os, const TimerStat::Snapshot& s) {
      << ",\"max_s\":" << fmtRoundTrip(s.max)
      << ",\"mean_s\":" << fmtRoundTrip(s.mean)
      << ",\"p50_s\":" << fmtRoundTrip(s.p50)
-     << ",\"p99_s\":" << fmtRoundTrip(s.p99) << "}";
+     << ",\"p90_s\":" << fmtRoundTrip(s.p90)
+     << ",\"p99_s\":" << fmtRoundTrip(s.p99)
+     << ",\"p999_s\":" << fmtRoundTrip(s.p999) << "}";
 }
 
 void writeTimerMap(std::ostream& os,
@@ -103,22 +105,24 @@ void exportJson(std::ostream& os, const MetricsRegistry& registry) {
 void exportCsv(std::ostream& os) { exportCsv(os, MetricsRegistry::instance()); }
 
 void exportCsv(std::ostream& os, const MetricsRegistry& registry) {
-  os << "kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p99_s,value\n";
+  os << "kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p90_s,p99_s,"
+        "p999_s,value\n";
   auto timerRow = [&os](const char* kind,
                         const MetricsRegistry::TimerRow& row) {
     const auto& s = row.stat;
     os << kind << ',' << row.name << ',' << s.count << ','
        << fmtRoundTrip(s.total) << ',' << fmtRoundTrip(s.min) << ','
        << fmtRoundTrip(s.max) << ',' << fmtRoundTrip(s.mean) << ','
-       << fmtRoundTrip(s.p50) << ',' << fmtRoundTrip(s.p99) << ",\n";
+       << fmtRoundTrip(s.p50) << ',' << fmtRoundTrip(s.p90) << ','
+       << fmtRoundTrip(s.p99) << ',' << fmtRoundTrip(s.p999) << ",\n";
   };
   for (const auto& row : registry.spans()) timerRow("span", row);
   for (const auto& row : registry.timers()) timerRow("timer", row);
   for (const auto& row : registry.counters()) {
-    os << "counter," << row.name << ",,,,,,,," << row.value << '\n';
+    os << "counter," << row.name << ",,,,,,,,,," << row.value << '\n';
   }
   for (const auto& row : registry.gauges()) {
-    os << "gauge," << row.name << ",,,,,,,," << fmtRoundTrip(row.value)
+    os << "gauge," << row.name << ",,,,,,,,,," << fmtRoundTrip(row.value)
        << '\n';
   }
 }

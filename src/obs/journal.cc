@@ -1,0 +1,223 @@
+#include "obs/journal.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace nano::obs {
+
+namespace {
+
+std::atomic<bool>& tracingFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+constexpr std::size_t kDefaultCapacity = 1 << 16;  // 64k events/thread, ~3 MiB
+
+std::atomic<std::size_t>& capacityFlag() {
+  static std::atomic<std::size_t> capacity{kDefaultCapacity};
+  return capacity;
+}
+
+/// One thread's bounded event log. `events` is sized once (at registration
+/// or under journalReset's quiescence guarantee) and slots are written
+/// exactly once per reset cycle before the release store of `size`
+/// publishes them, so concurrent snapshots read only completed records.
+struct Buffer {
+  explicit Buffer(std::size_t capacity, std::uint32_t tidIn)
+      : events(capacity), tid(tidIn) {}
+
+  std::vector<TraceEvent> events;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid = 0;
+  Buffer* next = nullptr;  ///< intrusive registry list, set once
+};
+
+/// Registry of every buffer ever created. Buffers are never freed — a
+/// thread may exit while its events still await draining — so the list
+/// only grows, by one node per recording thread per process lifetime.
+std::atomic<Buffer*>& bufferListHead() {
+  static std::atomic<Buffer*> head{nullptr};
+  return head;
+}
+
+Buffer* registerBuffer() {
+  static std::atomic<std::uint32_t> nextTid{1};
+  auto* buffer = new Buffer(capacityFlag().load(std::memory_order_relaxed),
+                            nextTid.fetch_add(1, std::memory_order_relaxed));
+  Buffer* head = bufferListHead().load(std::memory_order_acquire);
+  do {
+    buffer->next = head;
+  } while (!bufferListHead().compare_exchange_weak(
+      head, buffer, std::memory_order_acq_rel));
+  return buffer;
+}
+
+Buffer& threadBuffer() {
+  thread_local Buffer* buffer = registerBuffer();
+  return *buffer;
+}
+
+void append(const TraceEvent& event) {
+  Buffer& buffer = threadBuffer();
+  const std::size_t at = buffer.size.load(std::memory_order_relaxed);
+  if (at >= buffer.events.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent stamped = event;
+  stamped.tid = buffer.tid;
+  buffer.events[at] = stamped;
+  buffer.size.store(at + 1, std::memory_order_release);
+}
+
+thread_local TraceContext tlsContext;
+
+}  // namespace
+
+bool tracingEnabled() {
+  return tracingFlag().load(std::memory_order_relaxed);
+}
+
+void setTracingEnabled(bool on) {
+  if (on) traceEpoch();  // pin the epoch before the first event
+  tracingFlag().store(on, std::memory_order_relaxed);
+}
+
+std::int64_t traceNowNs() {
+  // +1 ms so 0 stays free as the "not captured" sentinel even for a
+  // timestamp taken in the same tick as the epoch.
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - traceEpoch())
+             .count() +
+         1'000'000;
+}
+
+std::int64_t timingNowNs() {
+  if (!enabled() && !tracingEnabled()) return 0;
+  return traceNowNs();
+}
+
+void traceBegin(const char* cat, const char* name, const TraceContext& ctx) {
+  if (!tracingEnabled()) return;
+  append({name, cat, ctx.id, traceNowNs(), 0, 0, 'B'});
+}
+
+void traceEnd(const char* cat, const char* name, const TraceContext& ctx) {
+  if (!tracingEnabled()) return;
+  append({name, cat, ctx.id, traceNowNs(), 0, 0, 'E'});
+}
+
+void traceInstant(const char* cat, const char* name, const TraceContext& ctx) {
+  if (!tracingEnabled()) return;
+  append({name, cat, ctx.id, traceNowNs(), 0, 0, 'i'});
+}
+
+void traceComplete(const char* cat, const char* name, const TraceContext& ctx,
+                   std::int64_t tsNs, std::int64_t durNs) {
+  if (!tracingEnabled()) return;
+  append({name, cat, ctx.id, tsNs, durNs, 0, 'X'});
+}
+
+void traceAsyncSpan(const char* cat, const char* name, const TraceContext& ctx,
+                    std::int64_t beginNs, std::int64_t endNs) {
+  if (!tracingEnabled()) return;
+  append({name, cat, ctx.id, beginNs, 0, 0, 'b'});
+  append({name, cat, ctx.id, endNs, 0, 0, 'e'});
+}
+
+const TraceContext& currentTraceContext() { return tlsContext; }
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx)
+    : previous_(tlsContext) {
+  tlsContext = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { tlsContext = previous_; }
+
+std::vector<TraceEvent> journalSnapshot() {
+  std::vector<TraceEvent> out;
+  for (Buffer* b = bufferListHead().load(std::memory_order_acquire);
+       b != nullptr; b = b->next) {
+    const std::size_t size = b->size.load(std::memory_order_acquire);
+    out.insert(out.end(), b->events.begin(),
+               b->events.begin() + static_cast<std::ptrdiff_t>(size));
+  }
+  return out;
+}
+
+std::uint64_t journalDropped() {
+  std::uint64_t total = 0;
+  for (Buffer* b = bufferListHead().load(std::memory_order_acquire);
+       b != nullptr; b = b->next) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void journalReset() {
+  const std::size_t capacity = capacityFlag().load(std::memory_order_relaxed);
+  for (Buffer* b = bufferListHead().load(std::memory_order_acquire);
+       b != nullptr; b = b->next) {
+    if (b->events.size() != capacity) b->events.assign(capacity, TraceEvent{});
+    b->dropped.store(0, std::memory_order_relaxed);
+    b->size.store(0, std::memory_order_release);
+  }
+}
+
+void setJournalCapacity(std::size_t events) {
+  capacityFlag().store(events, std::memory_order_relaxed);
+}
+
+std::size_t journalCapacity() {
+  return capacityFlag().load(std::memory_order_relaxed);
+}
+
+void exportChromeTrace(std::ostream& os,
+                       const std::vector<TraceEvent>& events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << (e.name != nullptr ? e.name : "")
+       << "\",\"cat\":\"" << (e.cat != nullptr ? e.cat : "")
+       << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid;
+    // Chrome wants microseconds; keep ns precision with three decimals.
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(e.tsNs / 1000),
+                  static_cast<long long>(e.tsNs % 1000));
+    os << ",\"ts\":" << buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(e.durNs / 1000),
+                    static_cast<long long>(e.durNs % 1000));
+      os << ",\"dur\":" << buf;
+    }
+    if (e.phase == 'b' || e.phase == 'e') {
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(e.id));
+      os << ",\"id\":\"" << buf << "\"";
+    }
+    if (e.id != 0) {
+      os << ",\"args\":{\"trace\":" << e.id << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace nano::obs

@@ -26,46 +26,19 @@ bool enabled() { return enabledFlag().load(std::memory_order_relaxed); }
 
 void setEnabled(bool on) { enabledFlag().store(on, std::memory_order_relaxed); }
 
-void TimerStat::record(double seconds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) {
-    min_ = max_ = seconds;
-  } else {
-    min_ = std::min(min_, seconds);
-    max_ = std::max(max_, seconds);
-  }
-  ++count_;
-  total_ += seconds;
-  if (samples_.size() < kMaxSamples) {
-    samples_.push_back(seconds);
-  } else {
-    // Deterministic pseudo-random eviction keeps the reservoir a fair-ish
-    // sample of the whole stream without unbounded memory.
-    replaceState_ = replaceState_ * 6364136223846793005ull + 1442695040888963407ull;
-    samples_[(replaceState_ >> 33) % kMaxSamples] = seconds;
-  }
-}
-
 TimerStat::Snapshot TimerStat::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const Log2Histogram::Snapshot h = histogram_.snapshot();
   Snapshot s;
-  s.count = count_;
-  s.total = total_;
-  s.min = min_;
-  s.max = max_;
-  if (count_ > 0) s.mean = total_ / static_cast<double>(count_);
-  if (!samples_.empty()) {
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    auto at = [&sorted](double p) {
-      const double pos = p * static_cast<double>(sorted.size() - 1);
-      const std::size_t lo = static_cast<std::size_t>(pos);
-      const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-      const double frac = pos - static_cast<double>(lo);
-      return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
-    };
-    s.p50 = at(0.50);
-    s.p99 = at(0.99);
+  s.count = h.count;
+  s.total = h.total;
+  s.min = h.min;
+  s.max = h.max;
+  s.mean = h.mean();
+  if (h.count > 0) {
+    s.p50 = h.percentile(0.50);
+    s.p90 = h.percentile(0.90);
+    s.p99 = h.percentile(0.99);
+    s.p999 = h.percentile(0.999);
   }
   return s;
 }

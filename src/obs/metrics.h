@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace nano::obs {
 
 /// Global on/off switch. Initialized once from the NANO_OBS environment
@@ -45,11 +47,14 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Histogram-style accumulator of durations (or any double samples):
-/// count/total/min/max exactly, p50/p99 from a bounded reservoir.
+/// Accumulator of durations (or any double samples) backed by a
+/// deterministic log2-bucket histogram: count/total/min/max exactly,
+/// p50/p90/p99/p999 as pure functions of the sample multiset, so
+/// percentiles are bit-identical run to run and thread-count to
+/// thread-count. Recording is lock-free (see obs/histogram.h).
 class TimerStat {
  public:
-  void record(double seconds);
+  void record(double seconds) { histogram_.record(seconds); }
 
   struct Snapshot {
     std::int64_t count = 0;
@@ -58,20 +63,19 @@ class TimerStat {
     double max = 0.0;
     double mean = 0.0;
     double p50 = 0.0;
+    double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
- private:
-  static constexpr std::size_t kMaxSamples = 4096;
+  /// The underlying mergeable histogram (exposition, bucket dumps).
+  [[nodiscard]] Log2Histogram::Snapshot histogramSnapshot() const {
+    return histogram_.snapshot();
+  }
 
-  mutable std::mutex mutex_;
-  std::int64_t count_ = 0;
-  double total_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::vector<double> samples_;   // bounded reservoir for percentiles
-  std::uint64_t replaceState_ = 0x9e3779b97f4a7c15ull;  // LCG for eviction
+ private:
+  Log2Histogram histogram_;
 };
 
 /// RAII monotonic-clock timer; records into `stat` on destruction.

@@ -1,6 +1,9 @@
 // Umbrella header for the observability layer: metrics registry +
-// counters/gauges/timers (obs/metrics.h), hierarchical spans
-// (obs/span.h), and JSON/CSV/report exporters (obs/export.h).
+// counters/gauges/timers (obs/metrics.h) backed by deterministic
+// log2-bucket histograms (obs/histogram.h), hierarchical spans
+// (obs/span.h), request-scoped tracing (obs/journal.h), JSON/CSV/report
+// exporters (obs/export.h), and the Prometheus / stats-snapshot
+// exposition surface (obs/exposition.h).
 //
 //   NANO_OBS_SPAN("sta/analyze");            // scoped phase timer
 //   NANO_OBS_COUNT("powergrid/cg_iterations", it);
@@ -9,5 +12,8 @@
 #pragma once
 
 #include "obs/export.h"
+#include "obs/exposition.h"
+#include "obs/histogram.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/span.h"

@@ -27,7 +27,9 @@ ResultCache::ResultCache(std::size_t capacity, int shards)
 }
 
 Outcome ResultCache::getOrCompute(const std::string& key,
-                                  const std::function<Outcome()>& compute) {
+                                  const std::function<Outcome()>& compute,
+                                  const obs::TraceContext& trace,
+                                  std::int64_t* dedupJoinNs) {
   if (capacity_ == 0) return compute();
 
   Shard& shard = shardFor(fnv1a64(key));
@@ -37,6 +39,7 @@ Outcome ResultCache::getOrCompute(const std::string& key,
     if (auto hit = shard.index.find(key); hit != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
       NANO_OBS_COUNT("svc/cache_hits", 1);
+      obs::traceInstant("svc", "cache.hit", trace);
       return *hit->second->outcome;
     }
     if (auto flight = shard.inflight.find(key);
@@ -45,12 +48,26 @@ Outcome ResultCache::getOrCompute(const std::string& key,
       auto future = flight->second;
       lock.unlock();
       NANO_OBS_COUNT("svc/dedup_joins", 1);
-      return *future.get();
+      const std::int64_t joinBegin = obs::timingNowNs();
+      const Outcome result = *future.get();
+      const std::int64_t joinEnd = obs::timingNowNs();
+      if (joinBegin > 0) {
+        if (dedupJoinNs != nullptr) *dedupJoinNs = joinEnd - joinBegin;
+        obs::traceComplete("svc", "cache.dedup_join", trace, joinBegin,
+                           joinEnd - joinBegin);
+        if (obs::enabled()) {
+          obs::MetricsRegistry::instance()
+              .timer("svc/phase/dedup_join")
+              .record(static_cast<double>(joinEnd - joinBegin) * 1e-9);
+        }
+      }
+      return result;
     }
     shard.inflight.emplace(key, promise.get_future().share());
   }
 
   NANO_OBS_COUNT("svc/cache_misses", 1);
+  obs::traceInstant("svc", "cache.miss", trace);
   std::shared_ptr<const Outcome> result;
   try {
     result = std::make_shared<const Outcome>(compute());

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/journal.h"
 #include "svc/request.h"
 
 namespace nano::svc {
@@ -41,8 +42,15 @@ class ResultCache {
   /// must be a pure function of the key (the service's evaluate() is) and
   /// must not throw — a throwing compute poisons the waiters with the
   /// same exception and caches nothing.
+  ///
+  /// `trace` attributes the hit/miss/dedup-join journal events to the
+  /// calling request; `dedupJoinNs` (when non-null) receives the
+  /// nanoseconds this caller spent blocked on another caller's in-flight
+  /// computation (0 on hits and misses).
   Outcome getOrCompute(const std::string& key,
-                       const std::function<Outcome()>& compute);
+                       const std::function<Outcome()>& compute,
+                       const obs::TraceContext& trace = {},
+                       std::int64_t* dedupJoinNs = nullptr);
 
   /// Entries currently cached (sums the shards; racy but monotonic
   /// per-shard — for tests and gauges).

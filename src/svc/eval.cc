@@ -1,5 +1,6 @@
 #include "svc/eval.h"
 
+#include <sstream>
 #include <string>
 
 #include "core/analysis.h"
@@ -294,18 +295,36 @@ JsonValue dispatch(const Request& request) {
       return evalGridSolve(std::get<GridSolveParams>(request.params));
     case RequestKind::NodeSummary:
       return evalNodeSummary(std::get<NodeSummaryParams>(request.params));
+    case RequestKind::Stats:
+      break;  // handled before dispatch: live data, not a pure function
   }
   throw std::logic_error("evaluate: unhandled kind");
+}
+
+/// The one non-pure kind: a live snapshot of the process's own metrics.
+/// The service bypasses the cache for it (identical keys do NOT imply
+/// identical payloads here), and golden traces exclude it.
+std::string evalStats(const StatsParams& p) {
+  std::ostringstream os;
+  obs::exportStatsJson(os, p.delta);
+  return os.str();
 }
 
 }  // namespace
 
 Outcome evaluate(const Request& request) {
   NANO_OBS_TIMER(std::string("svc/latency/") + kindName(request.kind));
+  // Synchronous eval span on whatever thread runs the evaluation; the
+  // context was installed by the service handler (or is empty for direct
+  // callers), so nested exec regions inherit the request's identity.
+  const obs::TraceSpan span("svc", kindName(request.kind),
+                            obs::currentTraceContext());
   Outcome outcome;
   try {
     outcome.status = ResponseStatus::Ok;
-    outcome.data = dispatch(request).write();
+    outcome.data = request.kind == RequestKind::Stats
+                       ? evalStats(std::get<StatsParams>(request.params))
+                       : dispatch(request).write();
   } catch (const std::exception& e) {
     NANO_OBS_COUNT("svc/errors", 1);
     outcome.status = ResponseStatus::Error;

@@ -12,9 +12,12 @@ namespace nano::svc {
 /// node, invalid operating point, non-converged solve) come back as an
 /// Error outcome with the exception message, so one bad point cannot kill
 /// a serving session. Ok payloads are byte-identical for identical
-/// canonical keys at any thread count.
+/// canonical keys at any thread count — except RequestKind::Stats, which
+/// snapshots the process's live metrics and must never be cached (the
+/// service bypasses the result cache for it).
 ///
-/// Instrumented: "svc/latency/<kind>" timers and the "svc/errors" counter.
+/// Instrumented: "svc/latency/<kind>" timers, the "svc/errors" counter,
+/// and a per-kind synchronous trace span under the current TraceContext.
 Outcome evaluate(const Request& request);
 
 }  // namespace nano::svc

@@ -14,6 +14,7 @@ constexpr const char* kKindNames[kRequestKindCount] = {
     "figure1",      "figure2",     "figure34",       "figure5",
     "table2",       "design_point", "design_grid",   "design_optimum",
     "repeater",     "wire",        "grid_solve",     "node_summary",
+    "stats",
 };
 
 constexpr const char* kPriorityNames[3] = {"high", "normal", "low"};
@@ -152,6 +153,9 @@ void keyFields(KeyBuilder& k, const GridSolveParams& p) {
 }
 void keyFields(KeyBuilder& k, const NodeSummaryParams& p) {
   k.field("node_nm", p.nodeNm);
+}
+void keyFields(KeyBuilder& k, const StatsParams& p) {
+  k.field("delta", p.delta);
 }
 
 }  // namespace
@@ -298,6 +302,9 @@ void readParams(ParamReader& r, GridSolveParams& p) {
 void readParams(ParamReader& r, NodeSummaryParams& p) {
   r.integer("node_nm", p.nodeNm);
 }
+void readParams(ParamReader& r, StatsParams& p) {
+  r.boolean("delta", p.delta);
+}
 
 Params defaultParams(RequestKind kind) {
   switch (kind) {
@@ -313,6 +320,7 @@ Params defaultParams(RequestKind kind) {
     case RequestKind::Wire: return WireParams{};
     case RequestKind::GridSolve: return GridSolveParams{};
     case RequestKind::NodeSummary: return NodeSummaryParams{};
+    case RequestKind::Stats: return StatsParams{};
   }
   return Fig1Params{};
 }
@@ -406,6 +414,7 @@ Response makeResponse(const Request& request, const Outcome& outcome) {
   r.status = outcome.status;
   r.data = outcome.data;
   r.error = outcome.error;
+  r.traceId = request.trace.id;
   return r;
 }
 
@@ -417,6 +426,7 @@ Response makeFailure(const Request& request, ResponseStatus status,
   r.kind = request.kind;
   r.status = status;
   r.error = std::move(message);
+  r.traceId = request.trace.id;
   return r;
 }
 

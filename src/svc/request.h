@@ -12,6 +12,8 @@
 #include <string_view>
 #include <variant>
 
+#include "obs/journal.h"
+
 namespace nano::svc {
 
 /// Every query the service answers. Names on the wire are the lowercase
@@ -29,8 +31,9 @@ enum class RequestKind {
   Wire,           ///< per-length RC of a node's global wire
   GridSolve,      ///< one power-grid mesh solve
   NodeSummary,    ///< end-to-end roadmap-node characterization
+  Stats,          ///< live metrics snapshot of the serving process
 };
-inline constexpr int kRequestKindCount = 12;
+inline constexpr int kRequestKindCount = 13;
 
 /// Stable wire name ("figure1", "design_point", ...).
 const char* kindName(RequestKind kind);
@@ -102,12 +105,17 @@ struct GridSolveParams {
 struct NodeSummaryParams {
   int nodeNm = 35;
 };
+struct StatsParams {
+  /// Report counter increases since the previous stats snapshot instead of
+  /// absolute values.
+  bool delta = false;
+};
 
 using Params =
     std::variant<Fig1Params, Fig2Params, Fig34Params, Fig5Params, Table2Params,
                  DesignPointParams, DesignGridParams, DesignOptimumParams,
                  RepeaterParams, WireParams, GridSolveParams,
-                 NodeSummaryParams>;
+                 NodeSummaryParams, StatsParams>;
 
 /// One admitted request. `id` is an opaque client token echoed back on the
 /// response; it plays no role in caching.
@@ -120,6 +128,10 @@ struct Request {
   /// path without racing the clock).
   double deadlineMs = -1.0;
   Params params;
+  /// Request identity for tracing. Assigned by the front end at parse time
+  /// (runServer numbers lines) or by Service::submit for direct callers;
+  /// excluded from the canonical key so it never affects caching.
+  obs::TraceContext trace;
 
   /// Canonical content key: kind plus every parameter (defaults filled) in
   /// a fixed order with round-trip double formatting. Equal keys <=> same
@@ -167,6 +179,20 @@ struct Response {
   ResponseStatus status = ResponseStatus::Ok;
   std::string data;
   std::string error;
+
+  // Observability annotations riding alongside the wire fields. NEVER
+  // serialized by toJsonLine(), so replay output stays content-determined
+  // whether or not tracing is on. Timestamps are obs::timingNowNs()
+  // samples (0 = not captured); the emitter samples the final "emitted"
+  // timestamp itself, so queue_wait (submit->dispatch), work
+  // (dispatch->done), and emit (done->emitted) partition the request's
+  // wall time exactly in integer nanoseconds.
+  std::uint64_t traceId = 0;
+  std::int64_t submitNs = 0;     ///< admitted into the scheduler queue
+  std::int64_t dispatchNs = 0;   ///< picked up by an exec lane
+  std::int64_t doneNs = 0;       ///< handler finished, promise fulfilled
+  std::int64_t evalNs = 0;       ///< ns spent inside evaluate() (0 on hits)
+  std::int64_t dedupJoinNs = 0;  ///< ns blocked joining an in-flight compute
 
   /// The JSONL wire form (no trailing newline).
   [[nodiscard]] std::string toJsonLine() const;

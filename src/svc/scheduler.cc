@@ -29,6 +29,7 @@ std::future<Response> Scheduler::submitBlocking(Request request) {
 std::future<Response> Scheduler::enqueue(Request request, bool block) {
   Item item;
   item.promise = std::promise<Response>();
+  item.submitNs = obs::timingNowNs();
   std::future<Response> future = item.promise.get_future();
   if (request.deadlineMs >= 0.0) {
     item.hasDeadline = true;
@@ -48,16 +49,20 @@ std::future<Response> Scheduler::enqueue(Request request, bool block) {
     if (stopping_) {
       lock.unlock();
       NANO_OBS_COUNT("svc/shed", 1);
-      item.promise.set_value(
-          makeFailure(request, ResponseStatus::Shed, "scheduler stopped"));
+      Response shed =
+          makeFailure(request, ResponseStatus::Shed, "scheduler stopped");
+      shed.submitNs = shed.dispatchNs = shed.doneNs = item.submitNs;
+      item.promise.set_value(std::move(shed));
       return future;
     }
     if (queued_ >= options_.maxQueue) {
       lock.unlock();
       NANO_OBS_COUNT("svc/shed", 1);
-      item.promise.set_value(makeFailure(
+      Response shed = makeFailure(
           request, ResponseStatus::Shed,
-          "queue full (" + std::to_string(options_.maxQueue) + " requests)"));
+          "queue full (" + std::to_string(options_.maxQueue) + " requests)");
+      shed.submitNs = shed.dispatchNs = shed.doneNs = item.submitNs;
+      item.promise.set_value(std::move(shed));
       return future;
     }
     item.request = std::move(request);
@@ -105,6 +110,7 @@ void Scheduler::batcherLoop() {
     const auto now = std::chrono::steady_clock::now();
     exec::parallelFor(batch.size(), [&](std::size_t i) {
       Item& item = batch[i];
+      const std::int64_t dispatchNs = obs::timingNowNs();
       Response response;
       if (item.hasDeadline && item.deadline <= now) {
         NANO_OBS_COUNT("svc/timeouts", 1);
@@ -112,6 +118,19 @@ void Scheduler::batcherLoop() {
                                "deadline expired before evaluation");
       } else {
         response = handler_(item.request);
+      }
+      response.submitNs = item.submitNs;
+      response.dispatchNs = dispatchNs;
+      response.doneNs = obs::timingNowNs();
+      if (item.submitNs > 0 && dispatchNs > 0) {
+        const std::int64_t queueWaitNs = dispatchNs - item.submitNs;
+        obs::traceAsyncSpan("svc", "queue_wait", item.request.trace,
+                            item.submitNs, dispatchNs);
+        if (obs::enabled()) {
+          obs::MetricsRegistry::instance()
+              .timer("svc/phase/queue_wait")
+              .record(static_cast<double>(queueWaitNs) * 1e-9);
+        }
       }
       item.promise.set_value(std::move(response));
     });

@@ -11,7 +11,10 @@
 // "timeout" at dispatch time, without evaluation.
 //
 // Instrumented: svc/queue_depth + svc/queue_peak gauges, svc/batches and
-// svc/shed and svc/timeouts counters, svc/batch_size sample distribution.
+// svc/shed and svc/timeouts counters, svc/batch_size sample distribution,
+// and the svc/phase/queue_wait latency histogram. Each dispatched item's
+// submit/dispatch/done timestamps are stamped onto its Response so the
+// emitter can decompose per-request wall time.
 #pragma once
 
 #include <array>
@@ -71,6 +74,7 @@ class Scheduler {
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point deadline;
     bool hasDeadline = false;
+    std::int64_t submitNs = 0;  ///< obs::timingNowNs() at admission
   };
 
   std::future<Response> enqueue(Request request, bool block);

@@ -1,6 +1,7 @@
 #include "svc/server.h"
 
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <istream>
 #include <mutex>
@@ -9,22 +10,54 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "svc/json.h"
 
 namespace nano::svc {
 
 Service::Service(ServiceOptions options)
     : options_(options),
       cache_(options.cacheEntries, options.cacheShards),
-      scheduler_(
-          [this](const Request& request) {
-            return makeResponse(
-                request, cache_.getOrCompute(request.canonicalKey(),
-                                             [&] { return evaluate(request); }));
-          },
-          options.scheduler) {}
+      scheduler_([this](const Request& request) { return handle(request); },
+                 options.scheduler) {}
+
+Response Service::handle(const Request& request) {
+  std::int64_t evalNs = 0;
+  std::int64_t dedupJoinNs = 0;
+  auto compute = [&] {
+    // Install the request's identity for the duration of the evaluation
+    // so the eval span and any exec regions it forks attribute to it.
+    const obs::TraceContextScope scope(request.trace);
+    const std::int64_t begin = obs::timingNowNs();
+    Outcome outcome = evaluate(request);
+    const std::int64_t end = obs::timingNowNs();
+    if (begin > 0) {
+      evalNs = end - begin;
+      if (obs::enabled()) {
+        obs::MetricsRegistry::instance()
+            .timer("svc/phase/eval")
+            .record(static_cast<double>(evalNs) * 1e-9);
+      }
+    }
+    return outcome;
+  };
+  // Stats snapshots live process state: identical keys do not imply
+  // identical payloads, so they bypass the cache and dedup entirely.
+  const Outcome outcome =
+      request.kind == RequestKind::Stats
+          ? compute()
+          : cache_.getOrCompute(request.canonicalKey(), compute, request.trace,
+                                &dedupJoinNs);
+  Response response = makeResponse(request, outcome);
+  response.evalNs = evalNs;
+  response.dedupJoinNs = dedupJoinNs;
+  return response;
+}
 
 std::future<Response> Service::submit(Request request) {
   NANO_OBS_COUNT("svc/requests", 1);
+  if (request.trace.id == 0 && obs::tracingEnabled()) {
+    request.trace.id = nextTraceId_.fetch_add(1, std::memory_order_relaxed);
+  }
   return options_.blockWhenFull ? scheduler_.submitBlocking(std::move(request))
                                 : scheduler_.submit(std::move(request));
 }
@@ -87,19 +120,65 @@ std::future<Response> readyResponse(Response response) {
   return p.get_future();
 }
 
+std::string fmtMs(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(ns) * 1e-6);
+  return buf;
+}
+
+/// One structured slow-request JSONL record with the phase decomposition.
+void writeSlowRecord(std::ostream& os, const Response& response,
+                     std::int64_t emitNs) {
+  os << "{\"id\":" << quoteJsonString(response.id) << ",\"kind\":\""
+     << (response.hasKind ? kindName(response.kind) : "") << "\",\"status\":\""
+     << statusName(response.status) << "\",\"trace\":" << response.traceId
+     << ",\"wall_ms\":" << fmtMs(emitNs - response.submitNs)
+     << ",\"queue_wait_ms\":" << fmtMs(response.dispatchNs - response.submitNs)
+     << ",\"dedup_join_ms\":" << fmtMs(response.dedupJoinNs)
+     << ",\"eval_ms\":" << fmtMs(response.evalNs)
+     << ",\"emit_ms\":" << fmtMs(emitNs - response.doneNs) << "}\n";
+}
+
 }  // namespace
 
-ServerStats runServer(std::istream& in, std::ostream& out, Service& service) {
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service,
+                      const ServerOptions& options) {
   ServerStats stats;
   EmitQueue queue(8192);
   std::mutex statsMutex;
+  const std::int64_t slowThresholdNs =
+      static_cast<std::int64_t>(options.slowThresholdMs * 1e6);
 
   std::thread emitter([&] {
     std::future<Response> next;
     while (queue.pop(next)) {
       const Response response = next.get();
       out << response.toJsonLine() << '\n';
+      const std::int64_t emitNs = obs::timingNowNs();
+      const bool timed = response.submitNs > 0 && response.dispatchNs > 0 &&
+                         response.doneNs > 0 && emitNs > 0;
+      if (timed) {
+        const obs::TraceContext trace{response.traceId};
+        obs::traceAsyncSpan("svc", "request", trace, response.submitNs, emitNs);
+        obs::traceAsyncSpan("svc", "work", trace, response.dispatchNs,
+                            response.doneNs);
+        obs::traceAsyncSpan("svc", "emit", trace, response.doneNs, emitNs);
+        if (obs::enabled()) {
+          auto& registry = obs::MetricsRegistry::instance();
+          registry.timer("svc/phase/emit")
+              .record(static_cast<double>(emitNs - response.doneNs) * 1e-9);
+          registry.timer("svc/latency/total")
+              .record(static_cast<double>(emitNs - response.submitNs) * 1e-9);
+        }
+      }
       std::lock_guard<std::mutex> lock(statsMutex);
+      if (timed && emitNs - response.submitNs >= slowThresholdNs) {
+        ++stats.slow;
+        NANO_OBS_COUNT("svc/slow_requests", 1);
+        if (options.slowLog != nullptr) {
+          writeSlowRecord(*options.slowLog, response, emitNs);
+        }
+      }
       switch (response.status) {
         case ResponseStatus::Ok: ++stats.ok; break;
         case ResponseStatus::Error: ++stats.errors; break;
@@ -109,6 +188,7 @@ ServerStats runServer(std::istream& in, std::ostream& out, Service& service) {
       }
     }
     out.flush();
+    if (options.slowLog != nullptr) options.slowLog->flush();
   });
 
   std::string line;
@@ -124,11 +204,18 @@ ServerStats runServer(std::istream& in, std::ostream& out, Service& service) {
           makeFailure(request, ResponseStatus::Invalid, error)));
       continue;
     }
+    // The 1-based input line number is the request's trace id: stable
+    // across replays, unique within a session, zero-cost to assign.
+    request.trace.id = stats.lines;
     queue.push(service.submit(std::move(request)));
   }
   queue.close();
   emitter.join();
   return stats;
+}
+
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service) {
+  return runServer(in, out, service, ServerOptions{});
 }
 
 }  // namespace nano::svc

@@ -4,7 +4,9 @@
 // response per line in input order (so a replayed trace is byte-stable).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <iosfwd>
 #include <string>
@@ -35,7 +37,9 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  /// Admit one request (already parsed). Counts svc/requests.
+  /// Admit one request (already parsed). Counts svc/requests. While
+  /// tracing is enabled, a request arriving without a trace id is
+  /// assigned one from a per-service counter.
   std::future<Response> submit(Request request);
 
   /// Synchronous convenience: submit and wait.
@@ -48,8 +52,11 @@ class Service {
   [[nodiscard]] std::size_t queueDepth() const { return scheduler_.queueDepth(); }
 
  private:
+  Response handle(const Request& request);
+
   ServiceOptions options_;
   ResultCache cache_;
+  std::atomic<std::uint64_t> nextTraceId_{1};
   Scheduler scheduler_;  ///< last member: stops before cache destructs
 };
 
@@ -61,12 +68,33 @@ struct ServerStats {
   std::size_t invalid = 0;
   std::size_t shed = 0;
   std::size_t timeouts = 0;
+  std::size_t slow = 0;      ///< responses over ServerOptions::slowThresholdMs
+};
+
+/// Front-end knobs for runServer(). Defaults preserve the bare three-
+/// argument behavior exactly.
+struct ServerOptions {
+  /// When non-null, every response slower (submit -> emitted) than
+  /// slowThresholdMs appends one structured JSONL record here with the
+  /// full phase decomposition. Requires obs or tracing to be enabled
+  /// (timestamps are not captured otherwise).
+  std::ostream* slowLog = nullptr;
+  double slowThresholdMs = 50.0;
 };
 
 /// Serve JSONL requests from `in` until EOF: one response line per request
 /// line, in input order (responses to later requests never overtake
 /// earlier ones even when evaluation reorders). Blank lines are skipped;
 /// unparseable lines produce status:"invalid" responses and keep serving.
+///
+/// Each parsed request is assigned its 1-based line number as trace id.
+/// While obs or tracing is on, the emitter records the svc/phase/emit and
+/// svc/latency/total histograms and per-request "request"/"work"/"emit"
+/// async trace spans (queue_wait comes from the scheduler, dedup_join and
+/// eval from the cache and handler), so queue_wait + work + emit
+/// partitions each request's wall time exactly.
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service,
+                      const ServerOptions& options);
 ServerStats runServer(std::istream& in, std::ostream& out, Service& service);
 
 }  // namespace nano::svc

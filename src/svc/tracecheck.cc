@@ -1,0 +1,177 @@
+#include "svc/tracecheck.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "svc/json.h"
+
+namespace nano::svc {
+
+namespace {
+
+/// Journal timestamps are exported as microseconds with three decimals;
+/// recover the integer nanosecond value.
+std::int64_t tsToNs(double tsUs) {
+  return static_cast<std::int64_t>(std::llround(tsUs * 1000.0));
+}
+
+const JsonValue* requireMember(const JsonValue& event, const char* key,
+                               std::string& error, std::size_t index) {
+  const JsonValue* v = event.find(key);
+  if (v == nullptr) {
+    error = "event " + std::to_string(index) + ": missing \"" + key + "\"";
+  }
+  return v;
+}
+
+struct OpenSync {
+  std::string cat;
+  std::string name;
+};
+
+struct OpenAsync {
+  std::vector<std::int64_t> beginTs;  ///< unmatched 'b' timestamps (FIFO)
+};
+
+}  // namespace
+
+TraceCheckResult validateChromeTrace(std::string_view json) {
+  TraceCheckResult result;
+  JsonValue doc;
+  try {
+    doc = parseJson(json);
+  } catch (const std::exception& e) {
+    result.error = std::string("trace is not valid JSON: ") + e.what();
+    return result;
+  }
+  if (!doc.isObject()) {
+    result.error = "trace document must be a JSON object";
+    return result;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    result.error = "trace document must contain a \"traceEvents\" array";
+    return result;
+  }
+
+  std::map<std::int64_t, std::vector<OpenSync>> syncStacks;  // by tid
+  std::map<std::string, OpenAsync> asyncOpen;  // by cat \0 id \0 name
+
+  const auto& items = events->items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const JsonValue& event = items[i];
+    if (!event.isObject()) {
+      result.error = "event " + std::to_string(i) + " is not an object";
+      return result;
+    }
+    const JsonValue* name = requireMember(event, "name", result.error, i);
+    const JsonValue* cat = requireMember(event, "cat", result.error, i);
+    const JsonValue* ph = requireMember(event, "ph", result.error, i);
+    const JsonValue* tid = requireMember(event, "tid", result.error, i);
+    const JsonValue* ts = requireMember(event, "ts", result.error, i);
+    if (!result.error.empty()) return result;
+    if (!name->isString() || !cat->isString() || !ph->isString() ||
+        !tid->isNumber() || !ts->isNumber()) {
+      result.error = "event " + std::to_string(i) + ": wrong field types";
+      return result;
+    }
+    if (ts->asNumber() < 0.0) {
+      result.error = "event " + std::to_string(i) + ": negative timestamp";
+      return result;
+    }
+    const std::string& phase = ph->asString();
+    const auto threadId = static_cast<std::int64_t>(tid->asNumber());
+    ++result.events;
+
+    if (phase == "B") {
+      syncStacks[threadId].push_back({cat->asString(), name->asString()});
+    } else if (phase == "E") {
+      auto& stack = syncStacks[threadId];
+      if (stack.empty()) {
+        result.error = "event " + std::to_string(i) + ": 'E' for \"" +
+                       name->asString() + "\" with no open 'B' on tid " +
+                       std::to_string(threadId);
+        return result;
+      }
+      const OpenSync& top = stack.back();
+      if (top.name != name->asString() || top.cat != cat->asString()) {
+        result.error = "event " + std::to_string(i) + ": 'E' for \"" +
+                       name->asString() + "\" but innermost open span is \"" +
+                       top.name + "\" (sync spans must nest LIFO)";
+        return result;
+      }
+      stack.pop_back();
+      ++result.syncPairs;
+    } else if (phase == "b" || phase == "e") {
+      const JsonValue* id = event.find("id");
+      if (id == nullptr || !id->isString()) {
+        result.error = "event " + std::to_string(i) +
+                       ": async event without a string \"id\"";
+        return result;
+      }
+      const std::string key =
+          cat->asString() + '\0' + id->asString() + '\0' + name->asString();
+      if (phase == "b") {
+        asyncOpen[key].beginTs.push_back(tsToNs(ts->asNumber()));
+      } else {
+        auto open = asyncOpen.find(key);
+        if (open == asyncOpen.end() || open->second.beginTs.empty()) {
+          result.error = "event " + std::to_string(i) + ": 'e' for \"" +
+                         name->asString() + "\" id " + id->asString() +
+                         " with no matching 'b'";
+          return result;
+        }
+        const std::int64_t begin = open->second.beginTs.front();
+        open->second.beginTs.erase(open->second.beginTs.begin());
+        const std::int64_t durNs = tsToNs(ts->asNumber()) - begin;
+        if (durNs < 0) {
+          result.error = "event " + std::to_string(i) + ": async span \"" +
+                         name->asString() + "\" ends before it begins";
+          return result;
+        }
+        ++result.asyncPairs;
+
+        // Collect the svc per-request phase decomposition.
+        if (cat->asString() == "svc") {
+          const JsonValue* args = event.find("args");
+          const JsonValue* trace =
+              args != nullptr ? args->find("trace") : nullptr;
+          if (trace != nullptr && trace->isNumber()) {
+            const auto traceId =
+                static_cast<std::uint64_t>(trace->asNumber());
+            TracePhases& phases = result.requests[traceId];
+            const std::string& spanName = name->asString();
+            if (spanName == "request") phases.requestNs = durNs;
+            else if (spanName == "queue_wait") phases.queueWaitNs = durNs;
+            else if (spanName == "work") phases.workNs = durNs;
+            else if (spanName == "emit") phases.emitNs = durNs;
+          }
+        }
+      }
+    } else if (phase != "X" && phase != "i") {
+      result.error = "event " + std::to_string(i) + ": unknown phase \"" +
+                     phase + "\"";
+      return result;
+    }
+  }
+
+  for (const auto& [threadId, stack] : syncStacks) {
+    if (!stack.empty()) {
+      result.error = "unclosed sync span \"" + stack.back().name +
+                     "\" on tid " + std::to_string(threadId);
+      return result;
+    }
+  }
+  for (const auto& [key, open] : asyncOpen) {
+    if (!open.beginTs.empty()) {
+      result.error = "async span never ended (key \"" + key + "\")";
+      return result;
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace nano::svc

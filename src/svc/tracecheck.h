@@ -1,0 +1,51 @@
+// Validator for the Chrome trace-event JSON that obs::exportChromeTrace
+// emits: parses the document with the svc JSON parser and checks the
+// event stream is well formed — every synchronous 'B' has a matching 'E'
+// in strict LIFO order on its thread, every async 'b' pairs with exactly
+// one 'e' (by category + id + name), phases are known, timestamps are
+// sane. Also extracts the per-request phase decomposition so tests (and
+// the trace_lint tool) can assert queue_wait + work + emit partitions
+// each request's wall time. Lives in svc because it reuses svc/json.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace nano::svc {
+
+/// Durations (ns) of one traced request's async phase spans; -1 marks a
+/// phase that never appeared in the trace.
+struct TracePhases {
+  std::int64_t requestNs = -1;    ///< submit -> emitted (wall)
+  std::int64_t queueWaitNs = -1;  ///< submit -> dispatch
+  std::int64_t workNs = -1;       ///< dispatch -> done
+  std::int64_t emitNs = -1;       ///< done -> emitted
+
+  /// True when all four phases are present and queue_wait + work + emit
+  /// equals the request span exactly (integer ns — the spans share their
+  /// boundary timestamps by construction).
+  [[nodiscard]] bool accounted() const {
+    return requestNs >= 0 && queueWaitNs >= 0 && workNs >= 0 && emitNs >= 0 &&
+           queueWaitNs + workNs + emitNs == requestNs;
+  }
+};
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;         ///< first violation found (empty when ok)
+  std::size_t events = 0;    ///< total events examined
+  std::size_t syncPairs = 0;   ///< matched B/E pairs
+  std::size_t asyncPairs = 0;  ///< matched b/e pairs
+  /// Phase decomposition per trace id, from the svc "request"/
+  /// "queue_wait"/"work"/"emit" async spans.
+  std::map<std::uint64_t, TracePhases> requests;
+};
+
+/// Validate a Chrome trace-event JSON document (the whole file contents).
+/// Never throws; malformed JSON comes back as ok=false with the parser's
+/// message in `error`.
+TraceCheckResult validateChromeTrace(std::string_view json);
+
+}  // namespace nano::svc

@@ -83,7 +83,8 @@ TEST_F(ExportTest, CsvHasHeaderAndOneRowPerMetric) {
   std::string line;
   std::getline(in, line);
   EXPECT_EQ(line,
-            "kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p99_s,value");
+            "kind,name,count,total_s,min_s,max_s,mean_s,p50_s,p90_s,p99_s,"
+            "p999_s,value");
   int rows = 0;
   bool sawCounter = false;
   while (std::getline(in, line)) {

@@ -1,0 +1,123 @@
+// The metrics exposition surface: Prometheus name mangling and text
+// format, and the one-line JSON stats snapshot with delta-since-baseline
+// counters.
+#include "obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace nano::obs {
+namespace {
+
+class ExpositionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wasEnabled_ = enabled();
+    setEnabled(true);
+    MetricsRegistry::instance().reset();
+    resetStatsBaseline();
+  }
+  void TearDown() override {
+    MetricsRegistry::instance().reset();
+    resetStatsBaseline();
+    setEnabled(wasEnabled_);
+  }
+  bool wasEnabled_ = false;
+};
+
+TEST_F(ExpositionTest, PrometheusNamesArePrefixedAndSanitized) {
+  EXPECT_EQ(prometheusName("svc/requests"), "nano_svc_requests");
+  EXPECT_EQ(prometheusName("svc/phase/queue_wait"),
+            "nano_svc_phase_queue_wait");
+  EXPECT_EQ(prometheusName("weird-name.with:chars"),
+            "nano_weird_name_with_chars");
+  EXPECT_EQ(prometheusName("ok_already_09"), "nano_ok_already_09");
+}
+
+TEST_F(ExpositionTest, PrometheusExportsAllFamilies) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("svc/requests").add(42);
+  reg.gauge("svc/queue_depth").set(3.0);
+  reg.timer("svc/phase/eval").record(0.5);
+  reg.timer("svc/phase/eval").record(0.5);
+  { NANO_OBS_SPAN("svc/session"); }
+
+  std::ostringstream os;
+  exportPrometheus(os);
+  const std::string text = os.str();
+
+  // Counters: _total suffix, counter type, exact integer value.
+  EXPECT_NE(text.find("# TYPE nano_svc_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("nano_svc_requests_total 42"), std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE nano_svc_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("nano_svc_queue_depth 3"), std::string::npos);
+
+  // Timers render as summaries: quantile series plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE nano_svc_phase_eval summary"), std::string::npos);
+  EXPECT_NE(text.find("nano_svc_phase_eval{quantile=\"0.5\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("nano_svc_phase_eval{quantile=\"0.999\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("nano_svc_phase_eval_sum 1"), std::string::npos);
+  EXPECT_NE(text.find("nano_svc_phase_eval_count 2"), std::string::npos);
+
+  EXPECT_NE(text.find("nano_svc_session_count 1"), std::string::npos);
+
+  // The format ends with a newline (required by the text exposition spec).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(ExpositionTest, StatsJsonReportsAbsoluteValues) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("svc/requests").add(7);
+  reg.gauge("svc/cache_size").set(12.0);
+  reg.timer("svc/latency/total").record(0.25);
+
+  std::ostringstream os;
+  exportStatsJson(os, /*delta=*/false);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"delta\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"svc/requests\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"svc/cache_size\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"svc/latency/total\":{\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50_s\":0.25"), std::string::npos);
+  // One line: the snapshot embeds no newlines (the caller terminates it).
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST_F(ExpositionTest, DeltaCountersAdvanceTheBaseline) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("svc/requests").add(5);
+
+  std::ostringstream first;
+  exportStatsJson(first, /*delta=*/true);
+  // First delta snapshot after a fresh baseline: the full 5.
+  EXPECT_NE(first.str().find("\"svc/requests\":5"), std::string::npos);
+
+  reg.counter("svc/requests").add(3);
+  std::ostringstream second;
+  exportStatsJson(second, /*delta=*/true);
+  EXPECT_NE(second.str().find("\"svc/requests\":3"), std::string::npos);
+
+  // No increments since: the delta is zero, not the absolute value.
+  std::ostringstream third;
+  exportStatsJson(third, /*delta=*/true);
+  EXPECT_NE(third.str().find("\"svc/requests\":0"), std::string::npos);
+
+  // Absolute snapshots are unaffected by the baseline.
+  std::ostringstream absolute;
+  exportStatsJson(absolute, /*delta=*/false);
+  EXPECT_NE(absolute.str().find("\"svc/requests\":8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nano::obs

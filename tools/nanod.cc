@@ -7,7 +7,9 @@
 //     nanod
 //
 // Diagnostics (--stats, --report) go to stderr so stdout stays a pure
-// response stream suitable for golden diffs.
+// response stream suitable for golden diffs. Tracing (--trace) and the
+// Prometheus export (--metrics) write to their own files at exit for the
+// same reason.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -26,9 +28,19 @@ void usage(std::ostream& os) {
         "  --batch N       max requests per dispatch batch (default 64)\n"
         "  --block         block the reader when the queue is full instead of\n"
         "                  shedding (replay/batch mode)\n"
-        "  --stats         print a one-line session summary to stderr\n"
+        "  --stats         print a session summary and the per-request phase\n"
+        "                  decomposition (queue_wait/dedup_join/eval/emit) to\n"
+        "                  stderr (enables observability)\n"
         "  --report        enable observability and print the run report to\n"
         "                  stderr at exit (NANO_OBS=1 also enables metrics)\n"
+        "  --metrics FILE  write the Prometheus text exposition to FILE at\n"
+        "                  exit (enables observability)\n"
+        "  --trace FILE    record request-scoped trace events and write a\n"
+        "                  Chrome trace-event JSON timeline to FILE at exit\n"
+        "  --slow-log FILE append a JSONL record for every request slower\n"
+        "                  than the --slow-ms threshold (enables\n"
+        "                  observability)\n"
+        "  --slow-ms MS    slow-request threshold in ms (default 50)\n"
         "  --help          this text\n";
 }
 
@@ -43,11 +55,44 @@ long parseCount(const std::string& flag, const char* value) {
   return n;
 }
 
+double parseMs(const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const double ms = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(ms >= 0.0)) {
+    std::cerr << "nanod: " << flag << " expects a non-negative number, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return ms;
+}
+
+std::ofstream openOrDie(const std::string& path, const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "nanod: cannot open " << what << " file " << path << '\n';
+    std::exit(1);
+  }
+  return out;
+}
+
+void printPhase(std::ostream& os, const char* label, const char* timerName) {
+  const nano::obs::TimerStat::Snapshot s = nano::obs::MetricsRegistry::instance()
+                                               .timer(timerName)
+                                               .snapshot();
+  if (s.count == 0) return;
+  os << "nanod:   " << label << ": n=" << s.count << " mean=" << s.mean * 1e3
+     << "ms p50=" << s.p50 * 1e3 << "ms p99=" << s.p99 * 1e3 << "ms\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   nano::svc::ServiceOptions options;
+  nano::svc::ServerOptions serverOptions;
   std::string inputPath;
+  std::string tracePath;
+  std::string metricsPath;
+  std::string slowLogPath;
   bool stats = false;
   bool report = false;
 
@@ -74,9 +119,21 @@ int main(int argc, char** argv) {
       options.blockWhenFull = true;
     } else if (arg == "--stats") {
       stats = true;
+      nano::obs::setEnabled(true);
     } else if (arg == "--report") {
       report = true;
       nano::obs::setEnabled(true);
+    } else if (arg == "--metrics") {
+      metricsPath = value();
+      nano::obs::setEnabled(true);
+    } else if (arg == "--trace") {
+      tracePath = value();
+      nano::obs::setTracingEnabled(true);
+    } else if (arg == "--slow-log") {
+      slowLogPath = value();
+      nano::obs::setEnabled(true);
+    } else if (arg == "--slow-ms") {
+      serverOptions.slowThresholdMs = parseMs(arg, value());
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -97,14 +154,46 @@ int main(int argc, char** argv) {
   }
   std::istream& in = inputPath.empty() ? std::cin : file;
 
-  nano::svc::Service service(options);
-  const nano::svc::ServerStats s = nano::svc::runServer(in, std::cout, service);
+  std::ofstream slowLog;
+  if (!slowLogPath.empty()) {
+    slowLog = openOrDie(slowLogPath, "slow-log");
+    serverOptions.slowLog = &slowLog;
+  }
+
+  nano::svc::ServerStats s;
+  {
+    // Scope the service so the scheduler stops (joining its batcher and
+    // finishing any in-flight exec region) before the journal export:
+    // otherwise the trace could be snapshotted with the last region's
+    // spans still open.
+    nano::svc::Service service(options);
+    s = nano::svc::runServer(in, std::cout, service, serverOptions);
+  }
 
   if (stats) {
     std::cerr << "nanod: " << s.lines << " requests: " << s.ok << " ok, "
               << s.errors << " error, " << s.invalid << " invalid, " << s.shed
-              << " shed, " << s.timeouts << " timeout\n";
+              << " shed, " << s.timeouts << " timeout, " << s.slow
+              << " slow\n";
+    std::cerr << "nanod: phase latency decomposition:\n";
+    printPhase(std::cerr, "queue_wait", "svc/phase/queue_wait");
+    printPhase(std::cerr, "dedup_join", "svc/phase/dedup_join");
+    printPhase(std::cerr, "eval", "svc/phase/eval");
+    printPhase(std::cerr, "emit", "svc/phase/emit");
+    printPhase(std::cerr, "total", "svc/latency/total");
   }
   if (report) nano::obs::printRunReport(std::cerr);
+  if (!metricsPath.empty()) {
+    std::ofstream metrics = openOrDie(metricsPath, "metrics");
+    nano::obs::exportPrometheus(metrics);
+  }
+  if (!tracePath.empty()) {
+    std::ofstream trace = openOrDie(tracePath, "trace");
+    nano::obs::exportChromeTrace(trace, nano::obs::journalSnapshot());
+    if (const auto dropped = nano::obs::journalDropped(); dropped > 0) {
+      std::cerr << "nanod: trace journal dropped " << dropped
+                << " events (raise the per-thread buffer if this matters)\n";
+    }
+  }
   return 0;
 }

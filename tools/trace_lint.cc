@@ -1,0 +1,55 @@
+// trace_lint — validate a Chrome trace-event JSON file produced by
+// `nanod --trace`: the document must parse, every synchronous begin must
+// have its matching end (LIFO per thread), every async begin must pair
+// with an end, and each traced request's queue_wait + work + emit phases
+// must account for its wall time exactly. Exit 0 when clean, 1 otherwise.
+//
+//   trace_lint out.json
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "svc/tracecheck.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_lint TRACE.json\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::cerr << "trace_lint: cannot open " << argv[1] << '\n';
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  const nano::svc::TraceCheckResult result =
+      nano::svc::validateChromeTrace(json);
+  if (!result.ok) {
+    std::cerr << "trace_lint: " << argv[1] << ": " << result.error << '\n';
+    return 1;
+  }
+
+  std::size_t accounted = 0;
+  std::size_t unaccounted = 0;
+  for (const auto& [traceId, phases] : result.requests) {
+    if (phases.accounted()) {
+      ++accounted;
+    } else {
+      ++unaccounted;
+      std::cerr << "trace_lint: request trace=" << traceId
+                << ": phases do not account for wall time (request="
+                << phases.requestNs << "ns queue_wait=" << phases.queueWaitNs
+                << "ns work=" << phases.workNs << "ns emit=" << phases.emitNs
+                << "ns)\n";
+    }
+  }
+  std::cout << "trace_lint: " << argv[1] << ": " << result.events
+            << " events, " << result.syncPairs << " sync pairs, "
+            << result.asyncPairs << " async pairs, " << accounted
+            << " requests fully accounted\n";
+  return unaccounted == 0 ? 0 : 1;
+}
