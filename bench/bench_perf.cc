@@ -9,6 +9,10 @@
 #include "core/design_space.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
+#include "interconnect/interconnect_batch.h"
+#include "interconnect/wire.h"
+#include "kernel/device_batch.h"
+#include "kernel/dispatch.h"
 #include "obs/obs.h"
 #include "opt/dual_vth.h"
 #include "opt/sizing.h"
@@ -169,6 +173,150 @@ BENCHMARK(BM_GridSolve)
     ->Args({32, 1})
     ->Args({128, 1})
     ->Unit(benchmark::kMillisecond);
+
+// ---- nano::kernel batch micro-benchmarks (items = elements/s) ----------
+// Each pins the dispatch ISA via the second argument (0 = scalar
+// reference, 1 = AVX2 when the CPU has it) so before/after JSON captures
+// the specialization win per kernel, independent of thread count.
+
+bool forceIsa(benchmark::State& state) {
+  const auto want =
+      state.range(1) != 0 ? kernel::Isa::Avx2 : kernel::Isa::Scalar;
+  if (kernel::setActiveIsa(want) != want) {
+    state.SkipWithError("CPU lacks AVX2");
+    return false;
+  }
+  return true;
+}
+
+// Prepared device Ion over a (Vth, Vdd) sweep batch. The family is
+// scalar-only by design (libm-bound); the win is the prepared constants
+// and the Illinois solve, visible against BM_VthSolve/BM_Sweep history.
+void BM_KernelIonBatch(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(35);
+  const kernel::DeviceKernel kern = kernel::DeviceKernel::fromNode(node, node.vdd);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> vth(n), bias(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vth[i] = -0.05 + 0.35 * static_cast<double>(i) / static_cast<double>(n);
+    bias[i] = 0.2 + 0.4 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    kern.ionBatch(vth, bias, bias, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelIonBatch)->ArgNames({"n", "isa"})->Args({4096, 0});
+
+void BM_KernelIoffBatch(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(35);
+  const kernel::DeviceKernel kern = kernel::DeviceKernel::fromNode(node, node.vdd);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> vth(n), bias(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vth[i] = -0.05 + 0.35 * static_cast<double>(i) / static_cast<double>(n);
+    bias[i] = 0.2 + 0.4 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    kern.ioffBatch(vth, bias, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelIoffBatch)->ArgNames({"n", "isa"})->Args({4096, 0});
+
+// Baseline for the two batches above: the sweep inner kernel as it stood
+// before the batch layer, rebuilding a Mosfet per point for the delay leg
+// and again for the leakage leg (exactly what core::evaluate() used to
+// do). The ratio against BM_KernelIonBatch + BM_KernelIoffBatch is the
+// prepared-evaluator win in isolation.
+void BM_KernelSweepInnerLegacy(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(35);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> vth(n), bias(n), ion(n), ioff(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vth[i] = -0.05 + 0.35 * static_cast<double>(i) / static_cast<double>(n);
+    bias[i] = 0.2 + 0.4 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      {
+        device::MosfetParams p =
+            device::Mosfet::fromNode(node, vth[i]).params();
+        p.vddReference = node.vdd;
+        ion[i] = device::Mosfet(p).ionSelfConsistent(bias[i], bias[i]);
+      }
+      {
+        device::MosfetParams p =
+            device::Mosfet::fromNode(node, vth[i]).params();
+        p.vddReference = node.vdd;
+        ioff[i] = device::Mosfet(p).ioff(bias[i]);
+      }
+    }
+    benchmark::DoNotOptimize(ion.data());
+    benchmark::DoNotOptimize(ioff.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelSweepInnerLegacy)->ArgNames({"n", "isa"})->Args({4096, 0});
+
+// Elmore segment delay, the elementwise kernel with a true AVX2 variant.
+void BM_KernelRepeaterBatch(benchmark::State& state) {
+  const auto& node = tech::nodeByFeature(100);
+  const interconnect::RepeaterDriver driver =
+      interconnect::RepeaterDriver::fromNode(node);
+  const interconnect::WireRc rc =
+      interconnect::computeWireRc(interconnect::topLevelWire(node));
+  if (!forceIsa(state)) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> size(n), length(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    size[i] = 10.0 + 90.0 * static_cast<double>(i) / static_cast<double>(n);
+    length[i] = 1e-4 + 1e-3 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    interconnect::segmentDelayBatch(driver, rc, size, length, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  kernel::setActiveIsa(kernel::detectIsa());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KernelRepeaterBatch)
+    ->ArgNames({"n", "isa"})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+// SpMV on the power-grid Laplacian: scalar CSR reference vs the SELL-4
+// gather variant, on the same matrix the CG solve iterates.
+void BM_KernelSpmv(benchmark::State& state) {
+  powergrid::GridConfig cfg;
+  cfg.railPitch = 160e-6;
+  cfg.bumpPitch = 640e-6;
+  cfg.railWidth = 2e-6;
+  cfg.tilesX = cfg.tilesY = 10;
+  cfg.subdivisions = static_cast<int>(state.range(0));
+  const auto model = powergrid::GridModel::forConfig(cfg);
+  const powergrid::SparseSpd& a = model->unitLaplacian();
+  const std::size_t n = a.size();
+  std::vector<double> x(n, 1.0), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 + 0.001 * static_cast<double>(i % 97);
+  }
+  if (!forceIsa(state)) return;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  kernel::setActiveIsa(kernel::detectIsa());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["nnz"] = static_cast<double>(a.nonZeros());
+}
+BENCHMARK(BM_KernelSpmv)
+    ->ArgNames({"sub", "isa"})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 // Service-layer throughput: a mixed query stream (8x repetition of a
 // unique set, like a sweep client re-asking overlapping questions) pushed

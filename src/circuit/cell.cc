@@ -107,6 +107,31 @@ CellCharacterizer::CellCharacterizer(const tech::TechNode& node, double vthLow,
   if (vthHigh < vthLow) {
     throw std::invalid_argument("CellCharacterizer: vthHigh < vthLow");
   }
+  // Memoize the four corner unit inverters up front: every characterize()
+  // call used to rebuild an InverterModel (two self-consistent Ion solves
+  // plus the leakage evaluation) for one of these fixed corners. The Vth
+  // is specified at the corner's operating supply (DIBL reference = vdd),
+  // matching how a library would be characterized per power domain. Each
+  // stored value is a whole historical subexpression, so the memo changes
+  // no bits.
+  const device::GateGeometry unitGeom{2.0, 4.0};
+  const double drawnL = node_->featureNm * nm;
+  for (const VthClass cls : {VthClass::Low, VthClass::High}) {
+    for (const VddDomain domain : {VddDomain::High, VddDomain::Low}) {
+      const double vdd = vddOf(domain);
+      const device::InverterModel unit(*node_, vthOf(cls), vdd, unitGeom,
+                                       temperature_);
+      UnitCorner& c =
+          unit_[static_cast<int>(cls)][static_cast<int>(domain)];
+      const double reqN = 0.75 * vdd / unit.driveCurrentN();
+      const double reqP = 0.75 * vdd / unit.driveCurrentP();
+      c.r = 0.5 * (reqN + reqP);
+      c.cin = unit.inputCap();
+      c.cout = unit.outputCap();
+      c.leakage = unit.leakagePower();
+      c.area = (unit.wn() + unit.wp()) * 5.0 * drawnL;
+    }
+  }
 }
 
 CellCharacterizer CellCharacterizer::forNode(const tech::TechNode& node,
@@ -128,22 +153,8 @@ Cell CellCharacterizer::characterize(CellFunction function, double drive,
                                      VthClass vth, VddDomain domain) const {
   if (drive <= 0) throw std::invalid_argument("characterize: drive <= 0");
   const double vdd = vddOf(domain);
-  const double vthValue = vthOf(vth);
-
-  // Unit inverter at this corner. The Vth is specified at this operating
-  // supply (DIBL reference = vdd), matching how a library would be
-  // characterized per power domain.
-  const device::GateGeometry unitGeom{2.0, 4.0};
-  const device::InverterModel unit(*node_, vthValue, vdd, unitGeom,
-                                   temperature_);
-
-  const double reqN = 0.75 * vdd / unit.driveCurrentN();
-  const double reqP = 0.75 * vdd / unit.driveCurrentP();
-  const double unitR = 0.5 * (reqN + reqP);
-  const double unitCin = unit.inputCap();
-  const double unitCout = unit.outputCap();
-  const double drawnL = node_->featureNm * nm;
-  const double unitArea = (unit.wn() + unit.wp()) * 5.0 * drawnL;
+  const UnitCorner& unit =
+      unit_[static_cast<int>(vth)][static_cast<int>(domain)];
 
   Cell cell;
   cell.function = function;
@@ -151,12 +162,12 @@ Cell CellCharacterizer::characterize(CellFunction function, double drive,
   cell.vddDomain = domain;
   cell.drive = drive;
   cell.vdd = vdd;
-  cell.inputCap = logicalEffortOf(function) * drive * unitCin;
-  cell.driveResistance = unitR / drive;
-  cell.selfCap = parasiticOf(function) * drive * unitCout;
-  cell.leakage = leakageFactorOf(function) * drive * unit.leakagePower() *
+  cell.inputCap = logicalEffortOf(function) * drive * unit.cin;
+  cell.driveResistance = unit.r / drive;
+  cell.selfCap = parasiticOf(function) * drive * unit.cout;
+  cell.leakage = leakageFactorOf(function) * drive * unit.leakage *
                  static_cast<double>(faninOf(function));
-  cell.area = unitArea * drive * (0.7 + 0.5 * faninOf(function));
+  cell.area = unit.area * drive * (0.7 + 0.5 * faninOf(function));
 
   cell.name = std::string(nameOf(function)) + "_X" +
               std::to_string(drive).substr(0, 4) +

@@ -83,16 +83,30 @@ class CellCharacterizer {
   [[nodiscard]] double vthOf(VthClass cls) const;
 
   /// Characterize one cell. `drive` may be fractional (on-the-fly sizes).
+  /// Cheap: the unit inverter of each (Vth, Vdd) corner is characterized
+  /// once at construction, so this is pure scaling arithmetic.
   [[nodiscard]] Cell characterize(CellFunction function, double drive,
                                   VthClass vth, VddDomain domain) const;
 
  private:
+  /// Unit-inverter quantities of one (Vth flavor, Vdd domain) corner,
+  /// hoisted whole from the historical per-call expressions so the memo
+  /// is a bitwise no-op.
+  struct UnitCorner {
+    double r = 0.0;        ///< ohm, mean 0.75*Vdd/Idrive of N and P
+    double cin = 0.0;      ///< F, unit input cap
+    double cout = 0.0;     ///< F, unit output (diffusion) cap
+    double leakage = 0.0;  ///< W, unit inverter leakage
+    double area = 0.0;     ///< m^2, unit inverter footprint
+  };
+
   const tech::TechNode* node_;
   double vthLow_;
   double vthHigh_;
   double vddHigh_;
   double vddLow_;
   double temperature_;
+  UnitCorner unit_[2][2];  ///< indexed [VthClass][VddDomain]
 };
 
 /// The paper's dual-Vth offset: 100 mV between flavors (Section 3.2.2).

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "device/gate_model.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
+#include "kernel/device_batch.h"
 #include "obs/obs.h"
 #include "util/numeric.h"
 
@@ -14,8 +16,12 @@ namespace nano::core {
 
 namespace {
 
-/// Nominal-corner reference shared by all points of one exploration.
+/// Nominal-corner reference shared by all points of one exploration. The
+/// prepared DeviceKernel replaces the historical Mosfet-per-point
+/// construction (which re-derived Cox, mobility and swing twice per grid
+/// cell); its evaluators are bit-identical to that path.
 struct Reference {
+  kernel::DeviceKernel kern;
   const tech::TechNode* node = nullptr;
   double vdd0 = 0.0;
   double vth0 = 0.0;
@@ -28,16 +34,8 @@ struct Reference {
   double pstat0 = 0.0;
 };
 
-device::Mosfet deviceAt(const Reference& ref, double vthDesign) {
-  device::MosfetParams p =
-      device::Mosfet::fromNode(*ref.node, vthDesign).params();
-  p.vddReference = ref.vdd0;  // Vth specified at nominal; DIBL below it
-  return device::Mosfet(p);
-}
-
 double delayAt(const Reference& ref, double vdd, double vthDesign) {
-  const device::Mosfet dev = deviceAt(ref, vthDesign);
-  return ref.loadCap * vdd / dev.ionSelfConsistent(vdd, vdd);
+  return ref.loadCap * vdd / ref.kern.ion(vthDesign, vdd, vdd);
 }
 
 double pdynAt(const Reference& ref, double vdd) {
@@ -45,14 +43,15 @@ double pdynAt(const Reference& ref, double vdd) {
 }
 
 double pstatAt(const Reference& ref, double vdd, double vthDesign) {
-  const device::Mosfet dev = deviceAt(ref, vthDesign);
-  return vdd * dev.ioff(vdd) * ref.widthEff;
+  return vdd * ref.kern.ioff(vthDesign, vdd) * ref.widthEff;
 }
 
 Reference makeReference(const DesignSpaceOptions& options) {
-  Reference ref;
-  ref.node = &tech::nodeByFeature(options.nodeNm);
-  ref.vdd0 = ref.node->vdd;
+  const tech::TechNode& node = tech::nodeByFeature(options.nodeNm);
+  // Vth is specified at nominal Vdd; DIBL applies below it.
+  Reference ref{kernel::DeviceKernel::fromNode(node, node.vdd)};
+  ref.node = &node;
+  ref.vdd0 = node.vdd;
   ref.vth0 = device::solveVthForIon(*ref.node, ref.node->ionTarget);
   const device::InverterModel inv(*ref.node, ref.vth0, ref.vdd0);
   ref.loadCap = 4.0 * inv.inputCap() +
@@ -67,18 +66,26 @@ Reference makeReference(const DesignSpaceOptions& options) {
   return ref;
 }
 
-OperatingPoint evaluate(const Reference& ref, double vdd, double vthDesign) {
+/// Assemble a point from already-evaluated currents (the batch path) with
+/// the exact expressions of the scalar helpers above.
+OperatingPoint fromCurrents(const Reference& ref, double vdd,
+                            double vthDesign, double ionA, double ioffA) {
   OperatingPoint pt;
   pt.vdd = vdd;
   pt.vthDesign = vthDesign;
-  pt.delayNorm = delayAt(ref, vdd, vthDesign) / ref.delay0;
+  pt.delayNorm = ref.loadCap * vdd / ionA / ref.delay0;
   const double pdyn = pdynAt(ref, vdd);
-  const double pstat = pstatAt(ref, vdd, vthDesign);
+  const double pstat = vdd * ioffA * ref.widthEff;
   pt.pdynNorm = pdyn / ref.pdyn0;
   pt.pstatNorm = pstat / ref.pstat0;
   pt.ptotalNorm = (pdyn + pstat) / (ref.pdyn0 + ref.pstat0);
   pt.staticFraction = pstat / (pdyn + pstat);
   return pt;
+}
+
+OperatingPoint evaluate(const Reference& ref, double vdd, double vthDesign) {
+  return fromCurrents(ref, vdd, vthDesign, ref.kern.ion(vthDesign, vdd, vdd),
+                      ref.kern.ioff(vthDesign, vdd));
 }
 
 }  // namespace
@@ -95,16 +102,39 @@ std::vector<OperatingPoint> exploreDesignSpace(
     throw std::invalid_argument("exploreDesignSpace: need >= 2 steps");
   }
   const Reference ref = makeReference(options);
-  // Flatten the Vdd x Vth grid so every cell is one independent map item;
+  // Flatten the Vdd x Vth grid so every cell is one independent slot;
   // slot k = (vdd index, vth index) reproduces the serial nesting order.
   const std::vector<double> vdds =
       util::linspace(options.vddMin, ref.vdd0, options.vddSteps);
   const std::vector<double> vths =
       util::linspace(options.vthMin, options.vthMax, options.vthSteps);
-  return exec::parallelMap<OperatingPoint>(
-      vdds.size() * vths.size(), [&](std::size_t k) {
-        return evaluate(ref, vdds[k / vths.size()], vths[k % vths.size()]);
-      });
+  const std::size_t n = vdds.size() * vths.size();
+
+  // SoA staging for the batched device kernels: each exec block hands its
+  // contiguous subrange to ionBatch/ioffBatch, so the family dispatch and
+  // the prepared constants are amortized over the block instead of paying
+  // a Mosfet construction per cell. Slot k is written only by its block;
+  // results are bit-identical at any thread count and batch split.
+  std::vector<double> vth(n);
+  std::vector<double> bias(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    bias[k] = vdds[k / vths.size()];
+    vth[k] = vths[k % vths.size()];
+  }
+  std::vector<double> ion(n);
+  std::vector<double> ioff(n);
+  std::vector<OperatingPoint> pts(n);
+  exec::parallelForBlocked(n, [&](std::size_t begin, std::size_t end) {
+    const std::size_t len = end - begin;
+    const std::span<const double> v{vth.data() + begin, len};
+    const std::span<const double> b{bias.data() + begin, len};
+    ref.kern.ionBatch(v, b, b, {ion.data() + begin, len});
+    ref.kern.ioffBatch(v, b, {ioff.data() + begin, len});
+    for (std::size_t k = begin; k < end; ++k) {
+      pts[k] = fromCurrents(ref, bias[k], vth[k], ion[k], ioff[k]);
+    }
+  });
+  return pts;
 }
 
 OperatingPoint optimalPoint(const DesignSpaceOptions& options,

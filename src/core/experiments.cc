@@ -6,6 +6,7 @@
 #include "device/gate_model.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
+#include "kernel/device_batch.h"
 #include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
@@ -138,9 +139,13 @@ const char* policyName(VthPolicy policy) {
 
 namespace {
 
-/// Shared context for the Figure 3/4 sweep on one node.
+/// Shared context for the Figure 3/4 sweep on one node. The prepared
+/// DeviceKernel evaluates each (Vth, Vdd) probe — every policy solve calls
+/// the model dozens of times — without rebuilding a Mosfet per probe;
+/// its evaluators are bit-identical to that historical path.
 struct Fig34Context {
-  const tech::TechNode* node;
+  kernel::DeviceKernel kern;
+  const tech::TechNode* node = nullptr;
   double vdd0 = 0.0;
   double vth0 = 0.0;       ///< design Vth at nominal Vdd
   double pstat0 = 0.0;     ///< W, reference static power
@@ -151,22 +156,13 @@ struct Fig34Context {
   double freq = 0.0;
 };
 
-device::Mosfet deviceAt(const Fig34Context& ctx, double vthDesign) {
-  device::MosfetParams p =
-      device::Mosfet::fromNode(*ctx.node, vthDesign).params();
-  p.vddReference = ctx.vdd0;  // Vth specified at nominal; DIBL applies below
-  return device::Mosfet(p);
-}
-
 double delayAt(const Fig34Context& ctx, double vdd, double vthDesign) {
-  const device::Mosfet dev = deviceAt(ctx, vthDesign);
-  const double ion = dev.ionSelfConsistent(vdd, vdd);
+  const double ion = ctx.kern.ion(vthDesign, vdd, vdd);
   return ctx.loadCap * vdd / ion;  // k*C*V/I; the constant cancels
 }
 
 double pstatAt(const Fig34Context& ctx, double vdd, double vthDesign) {
-  const device::Mosfet dev = deviceAt(ctx, vthDesign);
-  return vdd * dev.ioff(vdd) * ctx.widthEff;
+  return vdd * ctx.kern.ioff(vthDesign, vdd) * ctx.widthEff;
 }
 
 /// Per-point solve with recovery: a failed bracket retries once on a wider
@@ -201,16 +197,18 @@ double vthForPolicy(const Fig34Context& ctx, VthPolicy policy, double vdd) {
     case VthPolicy::Conservative:
       // Ioff(vth, vdd) == Ioff0: Pstatic scales linearly with Vdd.
       return solvePolicyVth(
-          [&](double vth) { return deviceAt(ctx, vth).ioff(vdd) - ctx.ioff0; },
+          [&](double vth) { return ctx.kern.ioff(vth, vdd) - ctx.ioff0; },
           ctx.vth0);
   }
   throw std::logic_error("vthForPolicy: bad policy");
 }
 
 Fig34Context makeContext(int nodeNm) {
-  Fig34Context ctx;
-  ctx.node = &tech::nodeByFeature(nodeNm);
-  ctx.vdd0 = ctx.node->vdd;
+  const tech::TechNode& node = tech::nodeByFeature(nodeNm);
+  // Vth specified at nominal Vdd; DIBL applies below it.
+  Fig34Context ctx{kernel::DeviceKernel::fromNode(node, node.vdd)};
+  ctx.node = &node;
+  ctx.vdd0 = node.vdd;
   ctx.vth0 = device::solveVthForIon(*ctx.node, ctx.node->ionTarget);
   const device::InverterModel inv(*ctx.node, ctx.vth0, ctx.vdd0);
   ctx.loadCap = 4.0 * inv.inputCap() +
@@ -218,7 +216,7 @@ Fig34Context makeContext(int nodeNm) {
                 inv.outputCap();
   ctx.widthEff = 0.5 * (inv.wn() + device::kPmosCurrentFactor * inv.wp());
   ctx.freq = ctx.node->clockLocal;
-  ctx.ioff0 = deviceAt(ctx, ctx.vth0).ioff(ctx.vdd0);
+  ctx.ioff0 = ctx.kern.ioff(ctx.vth0, ctx.vdd0);
   ctx.pstat0 = pstatAt(ctx, ctx.vdd0, ctx.vth0);
   ctx.delay0 = delayAt(ctx, ctx.vdd0, ctx.vth0);
   return ctx;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernel/ion_solve.h"
 #include "obs/obs.h"
 #include "util/numeric.h"
 #include "util/units.h"
@@ -72,8 +73,13 @@ double Mosfet::mobility(double vgs) const {
   const double eeff = std::max(vgs + vth, 0.05) / (6.0 * toxElectrical());
   const double mu0T =
       params_.mu0 * std::pow(kRoomTemperature / params_.temperature, 1.5);
-  return mu0T /
-         (1.0 + std::pow(eeff / params_.e0Universal, params_.nuUniversal));
+  // nu == 2 (the universal-mobility default) gets r*r instead of pow();
+  // on this libm pow(r, 2.0) == r*r bit-exactly, and the kernel
+  // equivalence tests pin that assumption.
+  const double r = eeff / params_.e0Universal;
+  const double degradation =
+      params_.nuUniversal == 2.0 ? r * r : std::pow(r, params_.nuUniversal);
+  return mu0T / (1.0 + degradation);
 }
 
 double Mosfet::esat(double vgs) const { return 2.0 * params_.vsat / mobility(vgs); }
@@ -113,12 +119,14 @@ double Mosfet::ionSelfConsistent(double vgs, double vds) const {
   const double iMax = idsat0(vgs, vds);
   if (!std::isfinite(iMax)) return std::nan("");
   if (iMax <= 0) return 0.0;
-  auto f = [&](double i) { return idsat0(vgs - i * params_.rsOhmM, vds) - i; };
-  // f(0) = iMax > 0 and f(iMax) <= 0 (degeneration can only reduce current),
-  // so [0, iMax] brackets the fixed point. A stalled Brent solve falls back
-  // to bisection on the same bracket before reporting the best iterate.
-  const util::SolveResult r =
-      util::tryBracketAndSolve(f, 0.0, iMax, 0, iMax * 1e-12);
+  // f(0) = iMax > 0 and f(iMax) <= 0 (degeneration can only reduce
+  // current), so [0, iMax] brackets the fixed point. The shared Illinois
+  // solver (kernel/ion_solve.h) is also what kernel::DeviceKernel::ion
+  // runs, so the scalar and batched paths are bit-identical.
+  const double rs = params_.rsOhmM;
+  const kernel::IonSolveResult r = kernel::solveDegeneratedIon(
+      [&](double i) { return idsat0(vgs - i * rs, vds); }, iMax,
+      iMax * 1e-12);
   if (!r.converged) NANO_OBS_COUNT("device/ion_solve_nonconverged", 1);
   return r.x;
 }

@@ -105,7 +105,10 @@ class Mosfet {
   /// I = Idsat0(Vgs - I*Rs). Agrees with ionFirstOrder() to first order.
   /// `vds` sets the DIBL operating point (default: the reference Vdd); pass
   /// the actual operating supply when studying reduced-Vdd operation
-  /// (Figures 3-4).
+  /// (Figures 3-4). Solved with the bracketed Illinois iteration shared
+  /// with kernel::DeviceKernel (kernel/ion_solve.h); agrees with the
+  /// historical Brent solve to ~1e-11 relative (same 1e-12*Imax interval
+  /// tolerance), well inside the 1e-6 golden-figure tolerance.
   [[nodiscard]] double ionSelfConsistent(double vgs, double vds = -1.0) const;
 
   /// Drive current at the reference supply (self-consistent), A/m.

@@ -1,0 +1,148 @@
+#include "interconnect/interconnect_batch.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace nano::interconnect {
+
+using kernel::BatchShape;
+using kernel::fitsAnyShape;
+using kernel::Isa;
+using kernel::KernelFamily;
+
+namespace {
+
+// Scalar reference: the exact expression of repeaterSegmentDelay() with
+// the batch-invariant driver/wire constants hoisted (each hoisted value is
+// the same full subexpression the scalar API computes, so this is
+// bit-identical to calling repeaterSegmentDelay per element).
+void segmentDelayScalar(double unitR, double cin, double cout, double rPerM,
+                        double cPerM, const double* size, const double* length,
+                        double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rdrv = unitR / size[i];
+    const double cload = cin * size[i];
+    const double cself = cout * size[i];
+    const double r = rPerM * length[i];
+    const double c = cPerM * length[i];
+    out[i] = 0.693 * rdrv * cself + 0.377 * r * c +
+             0.693 * (rdrv * c + rdrv * cload + r * cload);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+// AVX2 variant: same per-lane operation order as segmentDelayScalar —
+// mul/add/div only, no FMA (vdivpd and vmulpd/vaddpd are correctly
+// rounded, so every lane matches the scalar result bit-for-bit). The
+// remainder rows run the scalar reference.
+__attribute__((target("avx2"))) void segmentDelayAvx2(
+    double unitR, double cin, double cout, double rPerM, double cPerM,
+    const double* size, const double* length, double* out, std::size_t n) {
+  const __m256d vUnitR = _mm256_set1_pd(unitR);
+  const __m256d vCin = _mm256_set1_pd(cin);
+  const __m256d vCout = _mm256_set1_pd(cout);
+  const __m256d vRPerM = _mm256_set1_pd(rPerM);
+  const __m256d vCPerM = _mm256_set1_pd(cPerM);
+  const __m256d k0693 = _mm256_set1_pd(0.693);
+  const __m256d k0377 = _mm256_set1_pd(0.377);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_loadu_pd(size + i);
+    const __m256d len = _mm256_loadu_pd(length + i);
+    const __m256d rdrv = _mm256_div_pd(vUnitR, s);
+    const __m256d cload = _mm256_mul_pd(vCin, s);
+    const __m256d cself = _mm256_mul_pd(vCout, s);
+    const __m256d r = _mm256_mul_pd(vRPerM, len);
+    const __m256d c = _mm256_mul_pd(vCPerM, len);
+    // (0.693*rdrv)*cself + (0.377*r)*c + 0.693*((rdrv*c + rdrv*cload) + r*cload)
+    const __m256d t1 = _mm256_mul_pd(_mm256_mul_pd(k0693, rdrv), cself);
+    const __m256d t2 = _mm256_mul_pd(_mm256_mul_pd(k0377, r), c);
+    const __m256d inner = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(rdrv, c), _mm256_mul_pd(rdrv, cload)),
+        _mm256_mul_pd(r, cload));
+    const __m256d t3 = _mm256_mul_pd(k0693, inner);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_add_pd(t1, t2), t3));
+  }
+  segmentDelayScalar(unitR, cin, cout, rPerM, cPerM, size + i, length + i,
+                     out + i, n - i);
+}
+#endif
+
+void linePowerScalar(const RepeaterDriver& driver, const WireRc& rc,
+                     const RepeaterDesign& design, double freq,
+                     double activity, const double* length, double* out,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] =
+        repeatedLinePower(driver, rc, design, length[i], freq, activity).total();
+  }
+}
+
+}  // namespace
+
+KernelFamily<void (*)(double, double, double, double, double, const double*,
+                      const double*, double*, std::size_t)>&
+segmentDelayFamily() {
+  static auto* family = [] {
+    auto* f = new KernelFamily<void (*)(double, double, double, double, double,
+                                        const double*, const double*, double*,
+                                        std::size_t)>(
+        "interconnect/segment_delay");
+    f->add("segment_delay_scalar", Isa::Scalar, &fitsAnyShape,
+           &segmentDelayScalar);
+#if defined(__x86_64__) || defined(__i386__)
+    f->add("segment_delay_avx2", Isa::Avx2, &fitsAnyShape, &segmentDelayAvx2);
+#endif
+    return f;
+  }();
+  return *family;
+}
+
+KernelFamily<void (*)(const RepeaterDriver&, const WireRc&,
+                      const RepeaterDesign&, double, double, const double*,
+                      double*, std::size_t)>&
+linePowerFamily() {
+  static auto* family = [] {
+    auto* f = new KernelFamily<void (*)(const RepeaterDriver&, const WireRc&,
+                                        const RepeaterDesign&, double, double,
+                                        const double*, double*, std::size_t)>(
+        "interconnect/line_power");
+    f->add("line_power_scalar", Isa::Scalar, &fitsAnyShape, &linePowerScalar);
+    return f;
+  }();
+  return *family;
+}
+
+void segmentDelayBatch(const RepeaterDriver& driver, const WireRc& rc,
+                       std::span<const double> size,
+                       std::span<const double> length, std::span<double> out) {
+  const std::size_t n = out.size();
+  assert(size.size() == n && length.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (size[i] <= 0 || length[i] <= 0) {
+      throw std::invalid_argument("segmentDelayBatch: non-positive design");
+    }
+  }
+  const BatchShape shape{n, true, 0, 0};
+  segmentDelayFamily().pick(shape)(driver.unitResistance, driver.unitInputCap,
+                                   driver.unitOutputCap, rc.resistancePerM,
+                                   rc.totalCapPerM(), size.data(),
+                                   length.data(), out.data(), n);
+}
+
+void linePowerBatch(const RepeaterDriver& driver, const WireRc& rc,
+                    const RepeaterDesign& design,
+                    std::span<const double> length, double freq,
+                    double activity, std::span<double> out) {
+  const std::size_t n = out.size();
+  assert(length.size() == n);
+  const BatchShape shape{n, true, 0, 0};
+  linePowerFamily().pick(shape)(driver, rc, design, freq, activity,
+                                length.data(), out.data(), n);
+}
+
+}  // namespace nano::interconnect

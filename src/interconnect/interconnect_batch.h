@@ -1,0 +1,48 @@
+// SoA batch evaluation of the repeater delay/power formulas.
+//
+// The Elmore segment delay is a pure elementwise mul/add/div expression,
+// so the AVX2 variant replicates the scalar operation order lane-by-lane
+// (division included — vdivpd is correctly rounded like scalar divide) and
+// is bit-identical to repeaterSegmentDelay(); the equivalence property
+// tests assert it. The line-power family is scalar-only: its repeater
+// count uses std::round (half away from zero), which has no exact AVX2
+// counterpart, and the loop is bandwidth-bound anyway.
+#pragma once
+
+#include <span>
+
+#include "interconnect/repeater.h"
+#include "kernel/dispatch.h"
+
+namespace nano::interconnect {
+
+/// out[i] = repeaterSegmentDelay(driver, rc, size[i], length[i]).
+/// Throws std::invalid_argument if any size or length is non-positive
+/// (checked up front, before any output is written).
+void segmentDelayBatch(const RepeaterDriver& driver, const WireRc& rc,
+                       std::span<const double> size,
+                       std::span<const double> length, std::span<double> out);
+
+/// out[i] = repeatedLinePower(driver, rc, design, length[i], ...).total().
+void linePowerBatch(const RepeaterDriver& driver, const WireRc& rc,
+                    const RepeaterDesign& design,
+                    std::span<const double> length, double freq,
+                    double activity, std::span<double> out);
+
+/// Family behind segmentDelayBatch ("interconnect/segment_delay"); exposed
+/// so tests can interrogate pickedName(). Signature: (unitR, cin, cout,
+/// rPerM, cPerM, size, length, out, n).
+kernel::KernelFamily<void (*)(double, double, double, double, double,
+                              const double*, const double*, double*,
+                              std::size_t)>&
+segmentDelayFamily();
+
+/// Family behind linePowerBatch ("interconnect/line_power"); the scalar
+/// variant calls repeatedLinePower() per element, so the batch is
+/// trivially identical to the scalar API.
+kernel::KernelFamily<void (*)(const RepeaterDriver&, const WireRc&,
+                              const RepeaterDesign&, double, double,
+                              const double*, double*, std::size_t)>&
+linePowerFamily();
+
+}  // namespace nano::interconnect

@@ -1,0 +1,135 @@
+// nano::kernel — SIMD-batched SoA kernel evaluation with runtime-
+// specialized dispatch. Like obs and exec, any layer may include the
+// dispatch core: it only depends on util/obs.
+//
+// The design splits a hot inner loop into three pieces:
+//  * a *prepared* evaluator that hoists every batch-invariant constant out
+//    of the per-element expression (kernel/device_batch.h),
+//  * one or more *variants* of the element loop — a scalar reference plus
+//    explicit AVX2 specializations where the compiler cannot vectorize
+//    (gathers, masked remainders) — registered in a KernelFamily,
+//  * a dispatch-time *pick* that selects the widest variant the running
+//    CPU supports and the batch shape fits, the cpp-native analogue of
+//    GeNN's per-merged-group kernel codegen.
+//
+// Bit-reproducibility contract: every variant of a family must produce
+// bit-identical results to the family's scalar reference (per-lane
+// operation order preserved, no FMA contraction, no reduction
+// reassociation). Where a kernel intentionally changes the algorithm (the
+// secant Ion solve), the tolerance is documented at the definition site
+// and covered by the golden-figure invariance suite. Consequently forcing
+// NANO_KERNEL_ISA=scalar must never change any result byte.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace nano::kernel {
+
+/// Instruction sets the dispatcher distinguishes, widest last. Scalar is
+/// the portable reference; every x86-64 CPU can run it.
+enum class Isa { Scalar = 0, Avx2 = 1 };
+
+/// Short stable name ("scalar", "avx2").
+const char* isaName(Isa isa);
+
+/// Widest ISA the running CPU supports (cached after the first probe).
+Isa detectIsa();
+
+/// ISA the dispatcher targets: detectIsa() clamped by the NANO_KERNEL_ISA
+/// environment variable ("scalar" or "avx2", read once on first use).
+/// Asking for a wider ISA than the CPU has falls back to the detected one.
+Isa activeIsa();
+
+/// Test hook: force the dispatch ISA (clamped to detectIsa()). Returns the
+/// ISA actually installed so tests can skip when AVX2 is unavailable.
+Isa setActiveIsa(Isa isa);
+
+/// Shape of one batch request; variants declare what shapes they serve.
+struct BatchShape {
+  std::size_t lanes = 0;      ///< elements in the batch
+  bool uniformParams = true;  ///< model constants fixed across the batch
+  int colorCount = 0;         ///< smoother colors (0 = not a smoother)
+  std::size_t rowWidth = 0;   ///< common CSR/SELL row width (0 = irregular)
+};
+
+/// A family of interchangeable kernel variants sharing one signature.
+/// Variants are registered cheapest-first; pick() scans from the most
+/// recently added (most specialized) variant and takes the first one whose
+/// minimum ISA is active and whose predicate accepts the batch shape. The
+/// first registration must be a Scalar variant accepting every shape so a
+/// pick can never fail.
+///
+/// Every pick bumps the `kernel/batch/<family>` counter and the winning
+/// variant's `kernel/variant/<name>` counter, so `nanod --metrics` shows
+/// which specialization served each batch.
+template <typename Fn>
+class KernelFamily {
+ public:
+  explicit KernelFamily(std::string familyName)
+      : name_(std::move(familyName)),
+        batchCounterName_("kernel/batch/" + name_) {}
+
+  KernelFamily(const KernelFamily&) = delete;
+  KernelFamily& operator=(const KernelFamily&) = delete;
+
+  void add(std::string variantName, Isa minIsa, bool (*fits)(const BatchShape&),
+           Fn fn) {
+    Variant v;
+    v.counterName = "kernel/variant/" + variantName;
+    v.name = std::move(variantName);
+    v.minIsa = minIsa;
+    v.fits = fits;
+    v.fn = fn;
+    variants_.push_back(std::move(v));
+  }
+
+  /// Select the variant for `shape` under the active ISA and record the
+  /// dispatch counters. Never fails once a universal scalar variant is
+  /// registered.
+  Fn pick(const BatchShape& shape) const { return pickVariant(shape).fn; }
+
+  /// Name of the variant pick() would run (tests and diagnostics).
+  const std::string& pickedName(const BatchShape& shape) const {
+    return pickVariant(shape).name;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Variant {
+    std::string name;
+    std::string counterName;
+    Isa minIsa = Isa::Scalar;
+    bool (*fits)(const BatchShape&) = nullptr;
+    Fn fn = nullptr;
+  };
+
+  const Variant& pickVariant(const BatchShape& shape) const {
+    const Isa isa = activeIsa();
+    for (std::size_t i = variants_.size(); i-- > 0;) {
+      const Variant& v = variants_[i];
+      if (v.minIsa > isa) continue;
+      if (v.fits != nullptr && !v.fits(shape)) continue;
+      NANO_OBS_COUNT(batchCounterName_, 1);
+      NANO_OBS_COUNT(v.counterName, 1);
+      return v;
+    }
+    // Unreachable by construction (families register a universal scalar
+    // variant first); keep the no-variant failure loud rather than UB.
+    throw std::logic_error("KernelFamily '" + name_ + "': no variant fits");
+  }
+
+  std::string name_;
+  std::string batchCounterName_;
+  std::vector<Variant> variants_;
+};
+
+/// Shape predicate accepting everything (the scalar-fallback default).
+inline bool fitsAnyShape(const BatchShape&) { return true; }
+
+}  // namespace nano::kernel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/exec.h"
 #include "obs/obs.h"
 #include "sta/incremental.h"
 
@@ -28,24 +29,41 @@ DualVthResult runDualVth(const Netlist& netlist,
   sta::IncrementalSta inc(work, clock);
 
   // Rank candidates by leakage saved per delay added (sensitivity order).
+  // Ranking only reads the shared netlist, so it maps over the gates in
+  // parallel; slot i belongs to gate i, which keeps the pre-sort order —
+  // and therefore the unstable sort's result — independent of the thread
+  // count. Each candidate keeps its recornered cell so the serial trial
+  // loop below swaps without re-characterizing.
   const auto gates = work.gateIds();
   struct Candidate {
     int id = 0;
+    bool viable = false;
     double benefit = 0.0;
     double delta = 0.0;
+    circuit::Cell high;
   };
+  const std::vector<Candidate> ranked = exec::parallelMap<Candidate>(
+      gates.size(), [&](std::size_t i) {
+        const int g = gates[i];
+        const auto& node = work.node(g);
+        Candidate c;
+        c.id = g;
+        if (node.cell.vth != VthClass::Low) return c;
+        circuit::Cell high =
+            library.recorner(node.cell, VthClass::High, node.cell.vddDomain);
+        const double load = work.loadCap(g);
+        c.delta = high.delay(load) - node.cell.delay(load);
+        const double saved = node.cell.leakage - high.leakage;
+        if (saved <= 0) return c;
+        c.benefit = saved / std::max(c.delta, 1e-18);
+        c.viable = true;
+        c.high = std::move(high);
+        return c;
+      });
   std::vector<Candidate> candidates;
-  candidates.reserve(gates.size());
-  for (int g : gates) {
-    const auto& node = work.node(g);
-    if (node.cell.vth != VthClass::Low) continue;
-    const circuit::Cell high =
-        library.recorner(node.cell, VthClass::High, node.cell.vddDomain);
-    const double load = work.loadCap(g);
-    const double delta = high.delay(load) - node.cell.delay(load);
-    const double saved = node.cell.leakage - high.leakage;
-    if (saved <= 0) continue;
-    candidates.push_back({g, saved / std::max(delta, 1e-18), delta});
+  candidates.reserve(ranked.size());
+  for (const Candidate& c : ranked) {
+    if (c.viable) candidates.push_back(c);
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
@@ -59,9 +77,7 @@ DualVthResult runDualVth(const Netlist& netlist,
     if (inc.slack(c.id) < c.delta + margin) {
       continue;  // cannot possibly fit
     }
-    const auto& node = work.node(c.id);
-    inc.trial(c.id, library.recorner(node.cell, VthClass::High,
-                                     node.cell.vddDomain));
+    inc.trial(c.id, c.high);
     ++trials;
     if (inc.meetsTiming()) {
       inc.commit();

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exec/exec.h"
+#include "kernel/sell.h"
 #include "obs/obs.h"
 
 namespace nano::powergrid {
@@ -133,6 +134,9 @@ struct MultigridHierarchy::Level {
   // Color buckets of unknown indices (ascending); disjoint within a color
   // by the setup-time verification, so each bucket sweeps in parallel.
   std::vector<std::vector<std::size_t>> colors;
+  // One SELL-packed sweep structure per color bucket (off-diagonals plus
+  // per-slot target/invDiag), built at setup so smooth() only dispatches.
+  std::vector<kernel::GsColorPack> colorPacks;
   // Transfer to the next-coarser level (unused on the coarsest). P is
   // stored fine-row CSR, R = scale * P^T coarse-row CSR so restriction is
   // a deterministic gather.
@@ -279,6 +283,15 @@ MultigridHierarchy::MultigridHierarchy(const SparseSpd& fineMatrix,
       for (std::size_t u = 0; u < n; ++u) lvl.colors[color[u]].push_back(u);
       lvl.smoother = SmootherKind::RedBlackGaussSeidel;
       break;
+    }
+    if (lvl.smoother == SmootherKind::RedBlackGaussSeidel) {
+      const kernel::CsrView view = a.csrView();
+      lvl.colorPacks.clear();
+      lvl.colorPacks.reserve(lvl.colors.size());
+      for (const auto& bucket : lvl.colors) {
+        lvl.colorPacks.push_back(
+            kernel::GsColorPack::fromBucket(view, bucket, lvl.invDiag));
+      }
     }
   };
 
@@ -515,47 +528,43 @@ void MultigridHierarchy::smooth(const Level& lvl, const std::vector<double>& b,
   const SparseSpd& a = *lvl.a;
   const std::size_t n = a.size();
   if (lvl.smoother == SmootherKind::RedBlackGaussSeidel) {
-    const auto& rp = a.rowPtr();
-    const auto& cs = a.cols();
-    const auto& vs = a.values();
-    auto sweepBucket = [&](const std::vector<std::size_t>& bucket) {
+    const int colorCount = static_cast<int>(lvl.colors.size());
+    auto sweepBucket = [&](const kernel::GsColorPack& pack) {
+      const kernel::BatchShape shape{pack.count, true, colorCount, 0};
+      const kernel::GsFn fn = kernel::gsFamily().pick(shape);
       auto body = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t k = lo; k < hi; ++k) {
-          const std::size_t u = bucket[k];
-          double s = b[u];
-          for (std::size_t m = rp[u]; m < rp[u + 1]; ++m) {
-            if (cs[m] != u) s -= vs[m] * x[cs[m]];
-          }
-          x[u] = s * lvl.invDiag[u];
-        }
+        fn(pack, b.data(), x.data(), lo, hi);
       };
       // Safe and deterministic: no two nodes of one color couple (checked
-      // at setup), so the bucket's writes touch values no other lane reads.
-      if (bucket.size() >= kParallelSmoothRows && exec::threadCount() > 1) {
-        exec::parallelForBlocked(bucket.size(), body, 2048);
+      // at setup), so the bucket's writes touch values no other lane
+      // reads, and every variant computes each slot's update whole.
+      if (pack.count >= kParallelSmoothRows && exec::threadCount() > 1) {
+        exec::parallelForBlocked(pack.count, body, 2048);
       } else {
-        body(0, bucket.size());
+        body(0, pack.count);
       }
     };
     for (int s = 0; s < sweeps; ++s) {
       if (!reversed) {
-        for (const auto& bucket : lvl.colors) sweepBucket(bucket);
+        for (const auto& pack : lvl.colorPacks) sweepBucket(pack);
       } else {
         // The reversed color order makes pre+post smoothing adjoint pairs,
         // keeping the V-cycle symmetric (required for CG).
-        for (auto it = lvl.colors.rbegin(); it != lvl.colors.rend(); ++it) {
+        for (auto it = lvl.colorPacks.rbegin(); it != lvl.colorPacks.rend();
+             ++it) {
           sweepBucket(*it);
         }
       }
     }
   } else {
+    const kernel::BatchShape shape{n, true, 0, 0};
     std::vector<double> t(n);
     for (int s = 0; s < sweeps; ++s) {
       a.multiply(x, t);
+      const kernel::JacobiFn fn = kernel::jacobiFamily().pick(shape);
       auto body = [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-          x[i] += opt_.jacobiWeight * lvl.invDiag[i] * (b[i] - t[i]);
-        }
+        fn(opt_.jacobiWeight, lvl.invDiag.data(), b.data(), t.data(),
+           x.data(), lo, hi);
       };
       if (n >= kParallelSmoothRows && exec::threadCount() > 1) {
         exec::parallelForBlocked(n, body, 2048);

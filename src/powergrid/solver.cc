@@ -97,6 +97,7 @@ void SparseSpd::finalize() {
     }
   }
   finalized_ = true;
+  sell_ = kernel::SellMatrix::fromCsr(csrView());
 }
 
 void SparseSpd::multiply(const std::vector<double>& x,
@@ -105,17 +106,16 @@ void SparseSpd::multiply(const std::vector<double>& x,
   // Reuse the caller's storage: every element is overwritten below, so a
   // zero-fill per call (the old y.assign) is pure waste inside CG loops.
   if (y.size() != n_) y.resize(n_);
+  // Dispatch through the SpMV kernel family: scalar CSR reference, or the
+  // sliced-ELL AVX2 variant when the CPU has it. Every variant computes
+  // each row's sum whole with the CSR accumulation order, so the result is
+  // bit-identical across variants and at any thread count or blocking.
+  const kernel::CsrView view = csrView();
+  const kernel::BatchShape shape{n_, true, 0, kernel::SellMatrix::kSlice};
+  const kernel::SpmvFn fn = kernel::spmvFamily().pick(shape);
   auto rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      double sum = 0.0;
-      for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-        sum += val_[k] * x[col_[k]];
-      }
-      y[r] = sum;
-    }
+    fn(view, &sell_, x.data(), y.data(), begin, end);
   };
-  // Each row writes y[r] exactly once with a serially-accumulated sum, so
-  // the result is bit-identical at any thread count.
   if (n_ >= kParallelRows && exec::threadCount() > 1) {
     exec::parallelForBlocked(n_, rows, 2048);
   } else {
@@ -143,6 +143,11 @@ const std::vector<double>& SparseSpd::values() const {
 std::size_t SparseSpd::nonZeros() const {
   if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
   return val_.size();
+}
+
+kernel::CsrView SparseSpd::csrView() const {
+  if (!finalized_) throw std::logic_error("SparseSpd: not finalized");
+  return kernel::CsrView{n_, rowPtr_.data(), col_.data(), val_.data()};
 }
 
 void JacobiPreconditioner::apply(const std::vector<double>& r,

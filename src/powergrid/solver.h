@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "kernel/sell.h"
 #include "util/numeric.h"
 
 namespace nano::powergrid {
@@ -42,16 +43,21 @@ class SparseSpd {
   /// Stored entries of the finalized matrix (both triangles).
   [[nodiscard]] std::size_t nonZeros() const;
 
+  /// Borrowed CSR view of the finalized matrix (throws before finalize()).
+  [[nodiscard]] kernel::CsrView csrView() const;
+
  private:
   std::size_t n_;
   bool finalized_ = false;
   // Triplet storage during assembly (upper triangle + diagonal).
   std::vector<std::size_t> ti_, tj_;
   std::vector<double> tv_;
-  // CSR after finalize (full matrix).
+  // CSR after finalize (full matrix), plus the sliced-ELL repack the
+  // dispatching multiply() hands to vector SpMV variants.
   std::vector<std::size_t> rowPtr_, col_;
   std::vector<double> val_;
   std::vector<double> diag_;
+  kernel::SellMatrix sell_;
 };
 
 /// Fixed SPD linear operator z = M^{-1} r applied once per CG iteration.

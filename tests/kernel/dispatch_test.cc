@@ -1,0 +1,90 @@
+// KernelFamily dispatch mechanics: ISA detection/forcing, latest-fitting
+// variant selection, and the per-pick observability counters.
+#include "kernel/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace nano::kernel {
+namespace {
+
+/// Restores the dispatch ISA a test forced.
+struct IsaGuard {
+  Isa saved = activeIsa();
+  ~IsaGuard() { setActiveIsa(saved); }
+};
+
+TEST(Isa, NamesAreStable) {
+  EXPECT_STREQ(isaName(Isa::Scalar), "scalar");
+  EXPECT_STREQ(isaName(Isa::Avx2), "avx2");
+}
+
+TEST(Isa, ActiveNeverExceedsDetected) {
+  EXPECT_LE(activeIsa(), detectIsa());
+}
+
+TEST(Isa, SetActiveClampsToDetected) {
+  IsaGuard guard;
+  EXPECT_EQ(setActiveIsa(Isa::Scalar), Isa::Scalar);
+  EXPECT_EQ(activeIsa(), Isa::Scalar);
+  const Isa got = setActiveIsa(Isa::Avx2);
+  EXPECT_EQ(got, detectIsa());  // clamped when the CPU lacks AVX2
+  EXPECT_EQ(activeIsa(), got);
+}
+
+using TagFn = int (*)();
+int scalarTag() { return 1; }
+int avx2Tag() { return 2; }
+int coloredTag() { return 3; }
+bool fitsColored(const BatchShape& s) { return s.colorCount > 0; }
+
+KernelFamily<TagFn>& tagFamily() {
+  static auto* family = [] {
+    auto* f = new KernelFamily<TagFn>("test_tags");
+    f->add("tag_scalar", Isa::Scalar, fitsAnyShape, &scalarTag);
+    f->add("tag_avx2", Isa::Avx2, fitsAnyShape, &avx2Tag);
+    f->add("tag_colored", Isa::Avx2, fitsColored, &coloredTag);
+    return f;
+  }();
+  return *family;
+}
+
+TEST(KernelFamily, PicksLatestVariantThatFits) {
+  IsaGuard guard;
+  const BatchShape plain{64, true, 0, 0};
+  const BatchShape colored{64, true, 2, 0};
+
+  setActiveIsa(Isa::Scalar);
+  EXPECT_EQ(tagFamily().pick(plain)(), 1);
+  EXPECT_EQ(tagFamily().pick(colored)(), 1);
+  EXPECT_EQ(tagFamily().pickedName(plain), "tag_scalar");
+
+  if (setActiveIsa(Isa::Avx2) == Isa::Avx2) {
+    EXPECT_EQ(tagFamily().pick(plain)(), 2);
+    EXPECT_EQ(tagFamily().pick(colored)(), 3);  // most specialized wins
+    EXPECT_EQ(tagFamily().pickedName(colored), "tag_colored");
+  }
+}
+
+TEST(KernelFamily, PickBumpsFamilyAndVariantCounters) {
+  IsaGuard guard;
+  setActiveIsa(Isa::Scalar);
+  auto& reg = obs::MetricsRegistry::instance();
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  const std::int64_t batches = reg.counter("kernel/batch/test_tags").value();
+  const std::int64_t picks = reg.counter("kernel/variant/tag_scalar").value();
+  (void)tagFamily().pick(BatchShape{8, true, 0, 0});
+  EXPECT_EQ(reg.counter("kernel/batch/test_tags").value(), batches + 1);
+  EXPECT_EQ(reg.counter("kernel/variant/tag_scalar").value(), picks + 1);
+  obs::setEnabled(wasEnabled);
+}
+
+TEST(KernelFamily, ThrowsWithoutAnyFittingVariant) {
+  const KernelFamily<TagFn> empty("test_empty");
+  EXPECT_THROW((void)empty.pick(BatchShape{1, true, 0, 0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nano::kernel

@@ -1,0 +1,89 @@
+// Batch-vs-scalar equivalence for the interconnect kernels: the AVX2
+// segment-delay variant must be bit-identical to repeaterSegmentDelay()
+// at every lane position (including remainder tails), and line power must
+// reproduce repeatedLinePower().total() exactly.
+#include "interconnect/interconnect_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "interconnect/wire.h"
+#include "tech/itrs.h"
+
+namespace nano::interconnect {
+namespace {
+
+using kernel::Isa;
+
+struct IsaGuard {
+  Isa saved = kernel::activeIsa();
+  ~IsaGuard() { kernel::setActiveIsa(saved); }
+};
+
+struct Fixture {
+  const tech::TechNode& node = tech::nodeByFeature(100);
+  RepeaterDriver driver = RepeaterDriver::fromNode(node);
+  WireRc rc = computeWireRc(topLevelWire(node));
+};
+
+TEST(SegmentDelayBatch, MatchesScalarBitExactAtAnyLengthAndIsa) {
+  Fixture f;
+  // Every n from 1 to 17 exercises each AVX2 remainder-tail length.
+  for (std::size_t n = 1; n <= 17; ++n) {
+    std::vector<double> size(n), length(n), ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      size[i] = 10.0 + 13.0 * static_cast<double>(i);
+      length[i] = 0.2e-3 * static_cast<double>(i + 1);
+      ref[i] = repeaterSegmentDelay(f.driver, f.rc, size[i], length[i]);
+    }
+    IsaGuard guard;
+    for (const Isa isa : {Isa::Scalar, Isa::Avx2}) {
+      if (kernel::setActiveIsa(isa) != isa) continue;
+      std::vector<double> out(n);
+      segmentDelayBatch(f.driver, f.rc, size, length, out);
+      EXPECT_EQ(out, ref) << "n=" << n << " isa=" << kernel::isaName(isa);
+    }
+  }
+}
+
+TEST(SegmentDelayBatch, PicksAvx2VariantWhenAvailable) {
+  IsaGuard guard;
+  const kernel::BatchShape shape{64, true, 0, 0};
+  kernel::setActiveIsa(Isa::Scalar);
+  EXPECT_EQ(segmentDelayFamily().pickedName(shape), "segment_delay_scalar");
+  if (kernel::setActiveIsa(Isa::Avx2) == Isa::Avx2) {
+    EXPECT_EQ(segmentDelayFamily().pickedName(shape), "segment_delay_avx2");
+  }
+}
+
+TEST(SegmentDelayBatch, RejectsNonPositiveInputsBeforeWriting) {
+  Fixture f;
+  const std::vector<double> size{20.0, 0.0, 30.0};
+  const std::vector<double> length{1e-3, 1e-3, 1e-3};
+  std::vector<double> out(3, -7.0);
+  EXPECT_THROW(segmentDelayBatch(f.driver, f.rc, size, length, out),
+               std::invalid_argument);
+  EXPECT_EQ(out, (std::vector<double>(3, -7.0)));  // checked up front
+}
+
+TEST(LinePowerBatch, MatchesScalarTotalsExactly) {
+  Fixture f;
+  const RepeaterDesign design = optimalRepeatersClosedForm(f.driver, f.rc);
+  const double freq = 2.0e9;
+  const double activity = 0.15;
+  const std::size_t n = 9;
+  std::vector<double> length(n), ref(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    length[i] = 0.5e-3 * static_cast<double>(i + 1);
+    ref[i] =
+        repeatedLinePower(f.driver, f.rc, design, length[i], freq, activity)
+            .total();
+  }
+  linePowerBatch(f.driver, f.rc, design, length, freq, activity, out);
+  EXPECT_EQ(out, ref);
+}
+
+}  // namespace
+}  // namespace nano::interconnect
