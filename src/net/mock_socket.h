@@ -1,0 +1,113 @@
+// In-memory loopback double for SocketOps: connections are pairs of byte
+// buffers under one mutex, poll() is a condition-variable wait, and the
+// test drives the client side directly (connect/send/half-close/read).
+// The multi-client suites run the full NetServer receive loop against
+// this with zero real sockets, which makes them deterministic (no
+// ephemeral-port races, no kernel buffer sizing) and TSan-friendly.
+//
+// The server-to-client direction has a configurable capacity so tests
+// can simulate a client that stops reading: write() returns short counts
+// and then kIoWouldBlock exactly like a full kernel send buffer would.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/socket_ops.h"
+
+namespace nano::net {
+
+class MockSocketOps final : public SocketOps {
+ public:
+  MockSocketOps() = default;
+
+  // ------------------------------------------------ SocketOps (server)
+  int listenTcp(const std::string& host, int port, std::string& error) override;
+  int listenUnix(const std::string& path, std::string& error) override;
+  int localPort(int listenFd) override;
+  int accept(int listenFd) override;
+  long read(int fd, char* buf, std::size_t n) override;
+  long write(int fd, const char* buf, std::size_t n) override;
+  void close(int fd) override;
+  int poll(std::vector<PollItem>& items, int timeoutMs) override;
+  void wake() override;
+
+  // ------------------------------------------------- test client side
+  /// Connect to a TCP listener by its (mock) port, or a Unix listener by
+  /// path. Returns the client-side handle, or -1 when nothing listens
+  /// there. The connection is visible to the server's poll()/accept()
+  /// immediately.
+  int connectTcp(int port);
+  int connectUnix(const std::string& path);
+
+  /// Queue bytes for the server to read (unbounded on this side — the
+  /// server's backpressure, not the test's, is what is under test).
+  void clientSend(int clientFd, std::string_view bytes);
+  /// Half-close: the server sees EOF after draining what was sent, like
+  /// shutdown(SHUT_WR).
+  void clientCloseWrite(int clientFd);
+  /// Full close from the client.
+  void clientClose(int clientFd);
+
+  /// Blocking read of whatever the server has sent (waits up to
+  /// `timeoutMs` for the first byte). Returns false at EOF-and-empty.
+  bool clientRead(int clientFd, std::string& out, int timeoutMs);
+  /// Read until the server closes its side; returns everything.
+  std::string clientReadAll(int clientFd, int timeoutMs = 30000);
+  /// True once the server closed its side of this connection.
+  bool serverClosed(int clientFd);
+
+  /// Cap the server-to-client buffer for connections made AFTER this
+  /// call (0 = unlimited). This is "the client stopped reading": server
+  /// writes past the cap come back short / would-block.
+  void setClientRecvCapacity(std::size_t bytes);
+
+ private:
+  struct Listener {
+    bool tcp = false;
+    int port = 0;
+    std::string path;
+    std::deque<int> pendingServerFds;  ///< awaiting accept()
+  };
+
+  /// One direction of a connection.
+  struct Pipe {
+    std::string buf;
+    bool writerClosed = false;
+  };
+
+  /// One connection; both fds map to the same shared state.
+  struct Conn {
+    int serverFd = -1;
+    int clientFd = -1;
+    Pipe toServer;                ///< client writes, server reads
+    Pipe toClient;                ///< server writes, client reads
+    std::size_t toClientCap = 0;  ///< 0 = unlimited
+    bool serverClosed = false;    ///< server called close()
+    bool clientClosed = false;    ///< client called clientClose()
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  int connectLocked(Listener& listener);
+  ConnPtr serverConnLocked(int fd) const;
+  ConnPtr clientConnLocked(int fd) const;
+  bool serverReadableLocked(const Conn& c) const;
+  bool serverWritableLocked(const Conn& c) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<int, Listener> listeners_;  ///< keyed by listener fd
+  std::map<int, ConnPtr> byFd_;        ///< both halves, keyed by fd
+  int nextFd_ = 1000;
+  int nextPort_ = 45000;
+  std::size_t clientRecvCapacity_ = 0;
+  bool wakePending_ = false;
+};
+
+}  // namespace nano::net

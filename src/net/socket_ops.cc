@@ -1,0 +1,208 @@
+#include "net/socket_ops.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_set>
+
+namespace nano::net {
+
+namespace {
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string errnoText(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+class PosixSocketOps final : public SocketOps {
+ public:
+  PosixSocketOps() {
+    if (::pipe(wakePipe_) == 0) {
+      setNonBlocking(wakePipe_[0]);
+      setNonBlocking(wakePipe_[1]);
+    } else {
+      wakePipe_[0] = wakePipe_[1] = -1;
+    }
+  }
+
+  ~PosixSocketOps() override {
+    if (wakePipe_[0] >= 0) ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0) ::close(wakePipe_[1]);
+  }
+
+  int listenTcp(const std::string& host, int port,
+                std::string& error) override {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error = errnoText("socket");
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      error = "invalid listen address \"" + host + "\" (IPv4 dotted quad)";
+      ::close(fd);
+      return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error = errnoText("bind");
+      ::close(fd);
+      return -1;
+    }
+    if (::listen(fd, 128) != 0 || !setNonBlocking(fd)) {
+      error = errnoText("listen");
+      ::close(fd);
+      return -1;
+    }
+    tcpListeners_.insert(fd);
+    return fd;
+  }
+
+  int listenUnix(const std::string& path, std::string& error) override {
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+      error = "unix socket path too long: " + path;
+      return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      error = errnoText("socket");
+      return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());  // replace a stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error = errnoText("bind " + path);
+      ::close(fd);
+      return -1;
+    }
+    if (::listen(fd, 128) != 0 || !setNonBlocking(fd)) {
+      error = errnoText("listen " + path);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  int localPort(int listenFd) override {
+    if (tcpListeners_.count(listenFd) == 0) return -1;
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      return -1;
+    }
+    return static_cast<int>(ntohs(addr.sin_port));
+  }
+
+  int accept(int listenFd) override {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) return -1;
+    if (!setNonBlocking(fd)) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  long read(int fd, char* buf, std::size_t n) override {
+    while (true) {
+      const ssize_t got = ::recv(fd, buf, n, 0);
+      if (got >= 0) return static_cast<long>(got);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
+      return kIoError;
+    }
+  }
+
+  long write(int fd, const char* buf, std::size_t n) override {
+    while (true) {
+      // MSG_NOSIGNAL: a client that closed mid-response must surface as
+      // kIoError on this connection, not SIGPIPE the whole process.
+      const ssize_t put = ::send(fd, buf, n, MSG_NOSIGNAL);
+      if (put >= 0) return static_cast<long>(put);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
+      return kIoError;
+    }
+  }
+
+  void close(int fd) override {
+    tcpListeners_.erase(fd);
+    ::close(fd);
+  }
+
+  int poll(std::vector<PollItem>& items, int timeoutMs) override {
+    std::vector<pollfd> fds;
+    fds.reserve(items.size() + 1);
+    for (const PollItem& item : items) {
+      pollfd p{};
+      p.fd = item.fd;
+      if (item.wantRead) p.events |= POLLIN;
+      if (item.wantWrite) p.events |= POLLOUT;
+      fds.push_back(p);
+    }
+    pollfd wakeFd{};
+    wakeFd.fd = wakePipe_[0];
+    wakeFd.events = POLLIN;
+    fds.push_back(wakeFd);
+
+    int got;
+    do {
+      got = ::poll(fds.data(), fds.size(), timeoutMs);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return 0;
+
+    if ((fds.back().revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wakePipe_[0], drain, sizeof(drain)) > 0) {
+      }
+      --got;
+    }
+    int ready = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const short re = fds[i].revents;
+      items[i].readable = (re & (POLLIN | POLLHUP)) != 0;
+      items[i].writable = (re & POLLOUT) != 0;
+      items[i].broken = (re & (POLLERR | POLLNVAL)) != 0;
+      if (items[i].readable || items[i].writable || items[i].broken) ++ready;
+    }
+    return ready;
+  }
+
+  void wake() override {
+    if (wakePipe_[1] >= 0) {
+      const char byte = 1;
+      // Async-signal-safe; a full pipe just means a wake is already
+      // pending, which is all we need.
+      [[maybe_unused]] const ssize_t ignored =
+          ::write(wakePipe_[1], &byte, 1);
+    }
+  }
+
+ private:
+  int wakePipe_[2];
+  std::unordered_set<int> tcpListeners_;  ///< receive thread only
+};
+
+}  // namespace
+
+std::unique_ptr<SocketOps> makePosixSocketOps() {
+  return std::make_unique<PosixSocketOps>();
+}
+
+}  // namespace nano::net

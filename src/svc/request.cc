@@ -1,5 +1,6 @@
 #include "svc/request.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -362,7 +363,10 @@ bool parseRequest(const std::string& line, Request& out, std::string& error) {
         if (!value.isNumber() || !(value.asNumber() >= 0.0)) {
           throw std::invalid_argument("\"deadline_ms\" must be a number >= 0");
         }
-        out.deadlineMs = value.asNumber();
+        // Clamp, don't reject: a huge deadline means "effectively none",
+        // and letting it through raw would overflow the scheduler's
+        // duration conversion.
+        out.deadlineMs = std::min(value.asNumber(), kMaxDeadlineMs);
       } else if (key != "params") {
         throw std::invalid_argument("unknown request field \"" + key + "\"");
       }

@@ -40,6 +40,12 @@ const char* kindName(RequestKind kind);
 /// Reverse lookup; returns false for unknown names.
 bool kindFromName(std::string_view name, RequestKind& out);
 
+/// Largest accepted `deadline_ms` (one hour). Anything bigger is clamped
+/// at parse time (and again defensively at enqueue time): an arbitrary
+/// client double like 1e300 would otherwise overflow the duration_cast
+/// into UB, and no realistic deadline is longer than this anyway.
+inline constexpr double kMaxDeadlineMs = 3.6e6;
+
 /// Admission priority: the scheduler drains High before Normal before Low.
 enum class Priority { High, Normal, Low };
 const char* priorityName(Priority priority);

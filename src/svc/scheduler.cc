@@ -1,5 +1,6 @@
 #include "svc/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -33,10 +34,13 @@ std::future<Response> Scheduler::enqueue(Request request, bool block) {
   std::future<Response> future = item.promise.get_future();
   if (request.deadlineMs >= 0.0) {
     item.hasDeadline = true;
+    // Client-supplied: an unclamped 1e300 ms overflows the duration_cast
+    // into UB. parseRequest already clamps wire input; clamp again here so
+    // direct in-process submitters get the same guarantee.
+    const double ms = std::min(request.deadlineMs, kMaxDeadlineMs);
     item.deadline = std::chrono::steady_clock::now() +
                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double, std::milli>(
-                            request.deadlineMs));
+                        std::chrono::duration<double, std::milli>(ms));
   }
 
   {
@@ -151,12 +155,15 @@ void Scheduler::drain() {
 void Scheduler::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ && !batcher_.joinable()) return;
     stopping_ = true;
   }
   workCv_.notify_all();
   spaceCv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
+  // Concurrent stop() calls both used to pass a joinable() check and both
+  // reach join() — UB. call_once serializes them: one thread joins, every
+  // other caller blocks here until the batcher has actually exited, so
+  // stop() returning always means "the batcher is gone".
+  std::call_once(joinOnce_, [this] { batcher_.join(); });
 }
 
 std::size_t Scheduler::queueDepth() const {

@@ -63,7 +63,10 @@ class Scheduler {
   /// Block until every admitted request has completed.
   void drain();
 
-  /// Stop accepting and finish queued work; idempotent.
+  /// Stop accepting and finish queued work. Idempotent and thread-safe:
+  /// any number of threads may call stop() concurrently (the socket
+  /// server's signal-driven drain races the destructor here); exactly one
+  /// joins the batcher and the rest block until the join completes.
   void stop();
 
   [[nodiscard]] std::size_t queueDepth() const;
@@ -92,6 +95,7 @@ class Scheduler {
   std::size_t inBatch_ = 0;  ///< items currently being evaluated
   std::size_t peakDepth_ = 0;
   bool stopping_ = false;
+  std::once_flag joinOnce_;  ///< exactly one stop() joins the batcher
   std::thread batcher_;
 };
 

@@ -1,12 +1,8 @@
 #include "svc/server.h"
 
-#include <condition_variable>
 #include <cstdio>
-#include <deque>
 #include <istream>
-#include <mutex>
 #include <ostream>
-#include <thread>
 #include <utility>
 
 #include "obs/obs.h"
@@ -56,7 +52,12 @@ Response Service::handle(const Request& request) {
 std::future<Response> Service::submit(Request request) {
   NANO_OBS_COUNT("svc/requests", 1);
   if (request.trace.id == 0 && obs::tracingEnabled()) {
-    request.trace.id = nextTraceId_.fetch_add(1, std::memory_order_relaxed);
+    // The direct bit keeps these from ever colliding with the
+    // session-assigned ids front ends hand out (satellite of the
+    // multi-connection work: mixed direct-submit + server use must keep
+    // per-request trace accounting intact).
+    request.trace.id =
+        kDirectTraceBit | nextTraceId_.fetch_add(1, std::memory_order_relaxed);
   }
   return options_.blockWhenFull ? scheduler_.submitBlocking(std::move(request))
                                 : scheduler_.submit(std::move(request));
@@ -68,51 +69,18 @@ Response Service::call(Request request) {
 
 void Service::drain() { scheduler_.drain(); }
 
+ServerStats& ServerStats::operator+=(const ServerStats& other) {
+  lines += other.lines;
+  ok += other.ok;
+  errors += other.errors;
+  invalid += other.invalid;
+  shed += other.shed;
+  timeouts += other.timeouts;
+  slow += other.slow;
+  return *this;
+}
+
 namespace {
-
-/// Bounded hand-off of pending responses from the reader to the emitter,
-/// preserving submission order. Ready failure responses count too, so a
-/// flood of sheds cannot grow memory without bound: the reader waits once
-/// `limit` responses are pending emission.
-class EmitQueue {
- public:
-  explicit EmitQueue(std::size_t limit) : limit_(limit) {}
-
-  void push(std::future<Response> f) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    spaceCv_.wait(lock, [this] { return pending_.size() < limit_; });
-    pending_.push_back(std::move(f));
-    lock.unlock();
-    itemCv_.notify_one();
-  }
-
-  void close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    itemCv_.notify_all();
-  }
-
-  /// Next future in submission order; false at end of stream.
-  bool pop(std::future<Response>& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    itemCv_.wait(lock, [this] { return !pending_.empty() || closed_; });
-    if (pending_.empty()) return false;
-    out = std::move(pending_.front());
-    pending_.pop_front();
-    lock.unlock();
-    spaceCv_.notify_one();
-    return true;
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable itemCv_, spaceCv_;
-  std::deque<std::future<Response>> pending_;
-  std::size_t limit_;
-  bool closed_ = false;
-};
 
 std::future<Response> readyResponse(Response response) {
   std::promise<Response> p;
@@ -126,9 +94,17 @@ std::string fmtMs(std::int64_t ns) {
   return buf;
 }
 
+/// Sessions may share one slow-log stream (every socket connection logs
+/// into the same file), so record writes are serialized process-wide.
+std::mutex& slowLogMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 /// One structured slow-request JSONL record with the phase decomposition.
 void writeSlowRecord(std::ostream& os, const Response& response,
                      std::int64_t emitNs) {
+  std::lock_guard<std::mutex> lock(slowLogMutex());
   os << "{\"id\":" << quoteJsonString(response.id) << ",\"kind\":\""
      << (response.hasKind ? kindName(response.kind) : "") << "\",\"status\":\""
      << statusName(response.status) << "\",\"trace\":" << response.traceId
@@ -141,76 +117,153 @@ void writeSlowRecord(std::ostream& os, const Response& response,
 
 }  // namespace
 
-ServerStats runServer(std::istream& in, std::ostream& out, Service& service,
-                      const ServerOptions& options) {
-  ServerStats stats;
-  EmitQueue queue(8192);
-  std::mutex statsMutex;
-  const std::int64_t slowThresholdNs =
-      static_cast<std::int64_t>(options.slowThresholdMs * 1e6);
+// ----------------------------------------------------------- EmitQueue
 
-  std::thread emitter([&] {
-    std::future<Response> next;
-    while (queue.pop(next)) {
-      const Response response = next.get();
-      out << response.toJsonLine() << '\n';
-      const std::int64_t emitNs = obs::timingNowNs();
-      const bool timed = response.submitNs > 0 && response.dispatchNs > 0 &&
-                         response.doneNs > 0 && emitNs > 0;
-      if (timed) {
-        const obs::TraceContext trace{response.traceId};
-        obs::traceAsyncSpan("svc", "request", trace, response.submitNs, emitNs);
-        obs::traceAsyncSpan("svc", "work", trace, response.dispatchNs,
-                            response.doneNs);
-        obs::traceAsyncSpan("svc", "emit", trace, response.doneNs, emitNs);
-        if (obs::enabled()) {
-          auto& registry = obs::MetricsRegistry::instance();
-          registry.timer("svc/phase/emit")
-              .record(static_cast<double>(emitNs - response.doneNs) * 1e-9);
-          registry.timer("svc/latency/total")
-              .record(static_cast<double>(emitNs - response.submitNs) * 1e-9);
-        }
-      }
-      std::lock_guard<std::mutex> lock(statsMutex);
-      if (timed && emitNs - response.submitNs >= slowThresholdNs) {
-        ++stats.slow;
-        NANO_OBS_COUNT("svc/slow_requests", 1);
-        if (options.slowLog != nullptr) {
-          writeSlowRecord(*options.slowLog, response, emitNs);
-        }
-      }
-      switch (response.status) {
-        case ResponseStatus::Ok: ++stats.ok; break;
-        case ResponseStatus::Error: ++stats.errors; break;
-        case ResponseStatus::Invalid: ++stats.invalid; break;
-        case ResponseStatus::Shed: ++stats.shed; break;
-        case ResponseStatus::Timeout: ++stats.timeouts; break;
+void Session::EmitQueue::push(std::future<Response> f) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  spaceCv_.wait(lock, [this] { return pending_.size() < limit_; });
+  pending_.push_back(std::move(f));
+  lock.unlock();
+  itemCv_.notify_one();
+}
+
+void Session::EmitQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  itemCv_.notify_all();
+}
+
+bool Session::EmitQueue::pop(std::future<Response>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  itemCv_.wait(lock, [this] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return false;
+  out = std::move(pending_.front());
+  pending_.pop_front();
+  lock.unlock();
+  spaceCv_.notify_one();
+  return true;
+}
+
+// ------------------------------------------------------------- Session
+
+Session::Session(Service& service, ServerOptions options,
+                 std::function<void(std::string&&)> sink,
+                 std::uint64_t sessionId)
+    : service_(service),
+      options_(options),
+      sink_(std::move(sink)),
+      sessionId_(sessionId),
+      queue_(options.emitQueueLimit),
+      slowThresholdNs_(
+          static_cast<std::int64_t>(options.slowThresholdMs * 1e6)) {
+  emitter_ = std::thread([this] { emitterLoop(); });
+}
+
+Session::~Session() { finish(); }
+
+void Session::consumeLine(const std::string& line) {
+  ++consumedLines_;
+  const std::uint64_t traceId = makeSessionTraceId(sessionId_, consumedLines_);
+  Request request;
+  std::string error;
+  if (!parseRequest(line, request, error)) {
+    NANO_OBS_COUNT("svc/invalid", 1);
+    // Even a line that never parsed gets its real trace id: the journal
+    // and slow log would otherwise pile every invalid line onto id 0.
+    request.trace.id = traceId;
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    queue_.push(readyResponse(
+        makeFailure(request, ResponseStatus::Invalid, std::move(error))));
+    return;
+  }
+  request.trace.id = traceId;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  queue_.push(service_.submit(std::move(request)));
+}
+
+void Session::closeInput() {
+  if (!inputClosed_.exchange(true, std::memory_order_acq_rel)) {
+    queue_.close();
+  }
+}
+
+void Session::setDrainedCallback(std::function<void()> callback) {
+  drained_ = std::move(callback);
+}
+
+ServerStats Session::finish() {
+  closeInput();
+  if (!joined_) {
+    emitter_.join();
+    joined_ = true;
+    stats_.lines = consumedLines_;
+  }
+  return stats_;
+}
+
+void Session::emitterLoop() {
+  std::future<Response> next;
+  while (queue_.pop(next)) {
+    const Response response = next.get();
+    sink_(response.toJsonLine() + '\n');
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    const std::int64_t emitNs = obs::timingNowNs();
+    const bool timed = response.submitNs > 0 && response.dispatchNs > 0 &&
+                       response.doneNs > 0 && emitNs > 0;
+    if (timed) {
+      const obs::TraceContext trace{response.traceId};
+      obs::traceAsyncSpan("svc", "request", trace, response.submitNs, emitNs);
+      obs::traceAsyncSpan("svc", "work", trace, response.dispatchNs,
+                          response.doneNs);
+      obs::traceAsyncSpan("svc", "emit", trace, response.doneNs, emitNs);
+      if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::instance();
+        registry.timer("svc/phase/emit")
+            .record(static_cast<double>(emitNs - response.doneNs) * 1e-9);
+        registry.timer("svc/latency/total")
+            .record(static_cast<double>(emitNs - response.submitNs) * 1e-9);
       }
     }
-    out.flush();
-    if (options.slowLog != nullptr) options.slowLog->flush();
-  });
+    if (timed && emitNs - response.submitNs >= slowThresholdNs_) {
+      ++stats_.slow;
+      NANO_OBS_COUNT("svc/slow_requests", 1);
+      if (options_.slowLog != nullptr) {
+        writeSlowRecord(*options_.slowLog, response, emitNs);
+      }
+    }
+    switch (response.status) {
+      case ResponseStatus::Ok: ++stats_.ok; break;
+      case ResponseStatus::Error: ++stats_.errors; break;
+      case ResponseStatus::Invalid: ++stats_.invalid; break;
+      case ResponseStatus::Shed: ++stats_.shed; break;
+      case ResponseStatus::Timeout: ++stats_.timeouts; break;
+    }
+  }
+  if (options_.slowLog != nullptr) {
+    std::lock_guard<std::mutex> lock(slowLogMutex());
+    options_.slowLog->flush();
+  }
+  finished_.store(true, std::memory_order_release);
+  if (drained_) drained_();
+}
 
+// ----------------------------------------------------------- runServer
+
+ServerStats runServer(std::istream& in, std::ostream& out, Service& service,
+                      const ServerOptions& options) {
+  Session session(
+      service, options, [&out](std::string&& line) { out << line; },
+      service.newSessionId());
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty()) continue;
-    ++stats.lines;
-    Request request;
-    std::string error;
-    if (!parseRequest(line, request, error)) {
-      NANO_OBS_COUNT("svc/invalid", 1);
-      queue.push(readyResponse(
-          makeFailure(request, ResponseStatus::Invalid, error)));
-      continue;
-    }
-    // The 1-based input line number is the request's trace id: stable
-    // across replays, unique within a session, zero-cost to assign.
-    request.trace.id = stats.lines;
-    queue.push(service.submit(std::move(request)));
+    session.consumeLine(line);
   }
-  queue.close();
-  emitter.join();
+  const ServerStats stats = session.finish();
+  out.flush();
   return stats;
 }
 

@@ -106,6 +106,14 @@ TEST(CanonicalKey, DefaultsAndExplicitDefaultsCollide) {
   EXPECT_EQ(implicit.contentHash(), explicitDefaults.contentHash());
 }
 
+TEST(RequestParse, AbsurdDeadlineClampsOnTheWayIn) {
+  // {"deadline_ms":1e300} used to survive parsing intact and overflow the
+  // duration_cast at enqueue (UB). The parser clamps to kMaxDeadlineMs,
+  // and the round trip through the whole pipeline still answers ok.
+  const Request r = mustParse(R"({"kind":"figure2","deadline_ms":1e300})");
+  EXPECT_DOUBLE_EQ(r.deadlineMs, kMaxDeadlineMs);
+}
+
 TEST(CanonicalKey, AdmissionFieldsDoNotAffectKey) {
   const Request plain = mustParse(R"({"kind":"table2"})");
   const Request dressed = mustParse(

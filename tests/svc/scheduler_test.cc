@@ -238,5 +238,66 @@ TEST(Scheduler, SubmitBlockingWaitsInsteadOfShedding) {
   }
 }
 
+TEST(Scheduler, StopIsIdempotentAndSafeFromManyThreads) {
+  // Regression: stop() used to join the batcher unconditionally, so a
+  // second caller (destructor racing a signal-driven shutdown) crashed
+  // with std::system_error. Now exactly one caller joins and the rest
+  // block until the join completes — hammer it from many threads while
+  // submitters are still feeding the queue. Run under TSan in CI.
+  for (int round = 0; round < 8; ++round) {
+    Scheduler scheduler(
+        [](const Request& r) {
+          Outcome o;
+          o.data = "{}";
+          return makeResponse(r, o);
+        },
+        {});
+    std::vector<std::thread> threads;
+    std::atomic<int> submitted{0};
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&scheduler, &submitted, t] {
+        for (int i = 0; i < 50; ++i) {
+          // Sheds (post-stop) are fine; crashing or hanging is not.
+          auto f = scheduler.submit(
+              requestNamed(std::to_string(t) + "/" + std::to_string(i)));
+          submitted.fetch_add(1);
+          f.wait();
+        }
+      });
+    }
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&scheduler] { scheduler.stop(); });
+    }
+    threads.emplace_back([&scheduler] { scheduler.drain(); });
+    for (auto& thread : threads) thread.join();
+    scheduler.stop();  // idempotent after the race too
+    EXPECT_EQ(submitted.load(), 200);
+  }
+}
+
+TEST(Scheduler, AbsurdDeadlineIsClampedNotUndefined) {
+  // duration_cast<nanoseconds>(duration<double,milli>(1e300)) is UB on
+  // overflow; the scheduler clamps at kMaxDeadlineMs before converting.
+  Scheduler scheduler(
+      [](const Request& r) {
+        Outcome o;
+        o.data = "{}";
+        return makeResponse(r, o);
+      },
+      {});
+  Request r = requestNamed("huge");
+  r.deadlineMs = 1e300;
+  const Response resp = scheduler.submit(std::move(r)).get();
+  // A clamped deadline is ~an hour away: the request must evaluate
+  // normally, not time out (and certainly not overflow into "already
+  // expired").
+  EXPECT_EQ(resp.status, ResponseStatus::Ok);
+
+  Request negative = requestNamed("zero");
+  negative.deadlineMs = 0.0;
+  EXPECT_EQ(scheduler.submit(std::move(negative)).get().status,
+            ResponseStatus::Timeout);
+}
+
 }  // namespace
 }  // namespace nano::svc

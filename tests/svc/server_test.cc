@@ -101,6 +101,36 @@ TEST(RunServer, DeterministicErrorsAreStructuredNotFatal) {
   EXPECT_NE(lines[1].find(R"("status":"ok")"), std::string::npos);
 }
 
+TEST(RunServer, TinyEmitQueueLimitBlocksTheReaderButLosesNothing) {
+  // The emit bound used to be a hardcoded 8192 inside the server loop;
+  // now it is ServerOptions::emitQueueLimit. At the smallest useful limit
+  // the reader stalls instead of buffering, and the output is still
+  // complete and ordered.
+  std::ostringstream trace;
+  for (int i = 0; i < 64; ++i) {
+    trace << R"({"id":"q)" << i << R"(","kind":"wire","params":{)"
+          << R"("width_multiple":)" << 1.0 + 0.01 * i << "}}\n";
+  }
+  std::istringstream in(trace.str());
+  std::ostringstream out;
+  ServerOptions options;
+  options.emitQueueLimit = 1;
+  Service service(replayOptions());
+  const ServerStats stats = runServer(in, out, service, options);
+  EXPECT_EQ(stats.lines, 64u);
+  EXPECT_EQ(stats.ok, 64u);
+  const std::vector<std::string> lines = splitLines(out.str());
+  ASSERT_EQ(lines.size(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    const std::string prefix =
+        std::string(R"({"id":"q)") + std::to_string(i) + R"(",)";
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)].compare(0, prefix.size(),
+                                                         prefix),
+              0)
+        << lines[static_cast<std::size_t>(i)];
+  }
+}
+
 std::string readFileOrFail(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << "missing " << path

@@ -92,9 +92,17 @@ TEST_F(TraceTest, GoldenReplayWithTracingIsByteIdenticalAndFullyAccounted) {
   // Every parsed line gets a trace; invalid lines never enter the
   // scheduler, so they are the only ones without spans.
   EXPECT_EQ(result.requests.size(), stats.lines - stats.invalid);
+  // Ids are session-unique now: all of this run's requests carry the same
+  // session ordinal, with the 1-based input line number in the low bits.
+  ASSERT_FALSE(result.requests.empty());
+  const std::uint64_t session =
+      traceSessionOf(result.requests.begin()->first);
+  EXPECT_GE(session, 1u);
   for (const auto& [traceId, phases] : result.requests) {
-    EXPECT_GE(traceId, 1u);
-    EXPECT_LE(traceId, stats.lines);
+    EXPECT_EQ(traceSessionOf(traceId), session);
+    EXPECT_EQ(traceId & kDirectTraceBit, 0u);  // came through a Session
+    EXPECT_GE(traceSeqOf(traceId), 1u);
+    EXPECT_LE(traceSeqOf(traceId), stats.lines);
     EXPECT_TRUE(phases.accounted())
         << "trace=" << traceId << " request=" << phases.requestNs
         << " queue_wait=" << phases.queueWaitNs << " work=" << phases.workNs

@@ -1,0 +1,135 @@
+// nanoc — minimal replay client for a socket-mode nanod. Streams stdin to
+// the server on a writer thread, half-closes, and copies everything the
+// server sends back to stdout until EOF:
+//
+//   nanoc 127.0.0.1:9201 < requests.jsonl > responses.jsonl
+//   nanoc --unix /tmp/nanod.sock < requests.jsonl
+//
+// Reading and writing run concurrently so a response stream larger than
+// the kernel's socket buffers cannot deadlock the replay; CI's loopback
+// smoke test byte-diffs the output against the stdin-mode golden.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: nanoc HOST:PORT < requests.jsonl > responses.jsonl\n"
+        "       nanoc --unix PATH < requests.jsonl > responses.jsonl\n";
+}
+
+int connectTcp(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "nanoc: expected HOST:PORT, got '" << spec << "'\n";
+    return -1;
+  }
+  const std::string host = spec.substr(0, colon);
+  const int port = std::atoi(spec.c_str() + colon + 1);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("nanoc: socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::cerr << "nanoc: invalid host '" << host << "' (IPv4 dotted quad)\n";
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("nanoc: connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "nanoc: unix socket path too long: " << path << '\n';
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("nanoc: socket");
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("nanoc: connect");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool sendAll(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t put = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  if (argc == 2 && std::string(argv[1]) == "--help") {
+    usage(std::cout);
+    return 0;
+  }
+  if (argc == 2) {
+    fd = connectTcp(argv[1]);
+  } else if (argc == 3 && std::string(argv[1]) == "--unix") {
+    fd = connectUnix(argv[2]);
+  } else {
+    usage(std::cerr);
+    return 2;
+  }
+  if (fd < 0) return 1;
+
+  std::thread writer([fd] {
+    std::string line;
+    bool ok = true;
+    while (ok && std::getline(std::cin, line)) {
+      line.push_back('\n');
+      ok = sendAll(fd, line.data(), line.size());
+    }
+    // Half-close: the server sees EOF, drains what it has, responds to
+    // everything, and closes — which ends the read loop below.
+    ::shutdown(fd, SHUT_WR);
+  });
+
+  char buf[16384];
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    std::fwrite(buf, 1, static_cast<std::size_t>(got), stdout);
+  }
+  std::fflush(stdout);
+  writer.join();
+  ::close(fd);
+  return 0;
+}

@@ -6,15 +6,24 @@
 //   echo '{"id":"p1","kind":"design_point","params":{"vdd":0.5,"vth":0.15}}' |
 //     nanod
 //
+// With --listen and/or --unix, nanod serves the same line protocol to many
+// concurrent socket clients instead (each connection gets its responses in
+// its own request order); SIGINT/SIGTERM drains in-flight work and exits.
+//
+//   nanod --listen 127.0.0.1:0 --port-file /tmp/nanod.port &
+//   nanoc 127.0.0.1:$(cat /tmp/nanod.port) < requests.jsonl
+//
 // Diagnostics (--stats, --report) go to stderr so stdout stays a pure
 // response stream suitable for golden diffs. Tracing (--trace) and the
 // Prometheus export (--metrics) write to their own files at exit for the
 // same reason.
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "net/server.h"
 #include "obs/obs.h"
 #include "svc/server.h"
 
@@ -41,7 +50,43 @@ void usage(std::ostream& os) {
         "                  than the --slow-ms threshold (enables\n"
         "                  observability)\n"
         "  --slow-ms MS    slow-request threshold in ms (default 50)\n"
+        "socket mode (replaces the stdin loop; both listeners may be given):\n"
+        "  --listen [HOST:]PORT  serve TCP clients on HOST:PORT (default host\n"
+        "                  127.0.0.1; port 0 binds an ephemeral port)\n"
+        "  --unix PATH     serve Unix-domain clients at PATH\n"
+        "  --port-file FILE  write the bound TCP port to FILE once listening\n"
+        "  --max-clients N   admission limit; excess connections get one\n"
+        "                  status:\"shed\" line and are closed (default 64)\n"
+        "  --idle-ms MS    close connections idle for MS ms (default 0 = never)\n"
+        "  --emit-queue N  per-session pending-response bound before the\n"
+        "                  pipeline pushes back (default 8192)\n"
         "  --help          this text\n";
+}
+
+nano::net::NetServer* gServer = nullptr;
+
+// Async-signal-safe: requestStop() is an atomic store plus one write()
+// to the server's self-pipe.
+void handleStopSignal(int) {
+  if (gServer != nullptr) gServer->requestStop();
+}
+
+/// Split "[HOST:]PORT" for --listen.
+void parseListen(const char* value, std::string& host, int& port) {
+  const std::string spec = value;
+  const std::size_t colon = spec.rfind(':');
+  std::string portPart = spec;
+  if (colon != std::string::npos) {
+    host = spec.substr(0, colon);
+    portPart = spec.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long p = std::strtol(portPart.c_str(), &end, 10);
+  if (end == portPart.c_str() || *end != '\0' || p < 0 || p > 65535) {
+    std::cerr << "nanod: --listen expects [HOST:]PORT, got '" << spec << "'\n";
+    std::exit(2);
+  }
+  port = static_cast<int>(p);
 }
 
 long parseCount(const std::string& flag, const char* value) {
@@ -89,12 +134,15 @@ void printPhase(std::ostream& os, const char* label, const char* timerName) {
 int main(int argc, char** argv) {
   nano::svc::ServiceOptions options;
   nano::svc::ServerOptions serverOptions;
+  nano::net::NetServerOptions netOptions;
   std::string inputPath;
   std::string tracePath;
   std::string metricsPath;
   std::string slowLogPath;
+  std::string portFilePath;
   bool stats = false;
   bool report = false;
+  bool block = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,7 +164,21 @@ int main(int argc, char** argv) {
       options.scheduler.maxBatch =
           static_cast<std::size_t>(parseCount(arg, value()));
     } else if (arg == "--block") {
-      options.blockWhenFull = true;
+      block = true;
+    } else if (arg == "--listen") {
+      parseListen(value(), netOptions.tcpHost, netOptions.tcpPort);
+    } else if (arg == "--unix") {
+      netOptions.unixPath = value();
+    } else if (arg == "--port-file") {
+      portFilePath = value();
+    } else if (arg == "--max-clients") {
+      netOptions.maxClients =
+          static_cast<std::size_t>(parseCount(arg, value()));
+    } else if (arg == "--idle-ms") {
+      netOptions.idleTimeoutMs = static_cast<int>(parseCount(arg, value()));
+    } else if (arg == "--emit-queue") {
+      serverOptions.emitQueueLimit =
+          static_cast<std::size_t>(parseCount(arg, value()));
     } else if (arg == "--stats") {
       stats = true;
       nano::obs::setEnabled(true);
@@ -144,6 +206,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool socketMode = netOptions.tcpPort >= 0 || !netOptions.unixPath.empty();
+  if (block) {
+    if (socketMode) {
+      // Blocking submit on the shared receive thread would stall every
+      // connection behind one full queue; sockets get read pauses instead.
+      std::cerr << "nanod: --block is ignored in socket mode "
+                   "(backpressure pauses reads per connection)\n";
+    } else {
+      options.blockWhenFull = true;
+    }
+  }
+
   std::ifstream file;
   if (!inputPath.empty()) {
     file.open(inputPath);
@@ -167,7 +241,45 @@ int main(int argc, char** argv) {
     // otherwise the trace could be snapshotted with the last region's
     // spans still open.
     nano::svc::Service service(options);
-    s = nano::svc::runServer(in, std::cout, service, serverOptions);
+    if (socketMode) {
+      netOptions.session = serverOptions;
+      nano::net::NetServer server(service, netOptions);
+      std::string error;
+      if (!server.start(error)) {
+        std::cerr << "nanod: " << error << '\n';
+        return 1;
+      }
+      if (netOptions.tcpPort >= 0) {
+        std::cerr << "nanod: listening on " << netOptions.tcpHost << ':'
+                  << server.tcpPort() << '\n';
+      }
+      if (!netOptions.unixPath.empty()) {
+        std::cerr << "nanod: listening on unix:" << netOptions.unixPath << '\n';
+      }
+      if (!portFilePath.empty()) {
+        // Written only once the listener is live, so "the file exists"
+        // means "connect will succeed" — no polling races in scripts.
+        std::ofstream portFile = openOrDie(portFilePath, "port");
+        portFile << server.tcpPort() << '\n';
+      }
+      gServer = &server;
+      std::signal(SIGINT, handleStopSignal);
+      std::signal(SIGTERM, handleStopSignal);
+      server.wait();
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      gServer = nullptr;
+      const nano::net::NetServerStats& ns = server.stats();
+      s = ns.sessions;
+      if (stats) {
+        std::cerr << "nanod: connections: " << ns.accepted << " accepted, "
+                  << ns.shedConnections << " shed, " << ns.idleCloses
+                  << " idle-closed, " << ns.slowClientCloses
+                  << " slow-client-closed, " << ns.closes << " closed\n";
+      }
+    } else {
+      s = nano::svc::runServer(in, std::cout, service, serverOptions);
+    }
   }
 
   if (stats) {
