@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "circuit/generator.h"
+#include "circuit/netlist_soa.h"
 #include "core/design_space.h"
 #include "device/mosfet.h"
 #include "exec/exec.h"
@@ -39,6 +40,14 @@ circuit::Netlist makeNetlist(int gates) {
   return circuit::pipelinedLogic(lib100(), cfg, rng, 8);
 }
 
+// Scale-profile netlist (sqrt I/O, log2 depth): the substrate for the
+// 100k/1M benches, matching the scale smoke test's construction.
+circuit::Netlist makeScaledNetlist(int gates) {
+  util::Rng rng(1);
+  return circuit::pipelinedLogic(lib100(), circuit::scaledConfig(gates), rng,
+                                 8);
+}
+
 void BM_VthSolve(benchmark::State& state) {
   const auto& node = tech::nodeByFeature(35);
   for (auto _ : state) {
@@ -56,6 +65,27 @@ void BM_Sta(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sta)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// The flat SoA timing core at scale: one full level-parallel STA pass per
+// iteration over a prebuilt mirror (items = gates/s). bytes_per_gate is
+// the arena footprint of the reusable engine — the memory-per-gate
+// acceptance number for the million-gate core.
+void BM_StaFull(benchmark::State& state) {
+  const circuit::Netlist nl =
+      makeScaledNetlist(static_cast<int>(state.range(0)));
+  const circuit::NetlistSoA soa(nl, {.keepCells = false});
+  sta::Sta engine(soa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyze().worstSlack);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["levels"] = static_cast<double>(soa.levelCount());
+  state.counters["bytes_per_gate"] =
+      static_cast<double>(engine.arenaBytes() + soa.arenaBytes()) /
+      static_cast<double>(nl.gateCount());
+  state.counters["threads"] = exec::threadCount();
+}
+BENCHMARK(BM_StaFull)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 void BM_DualVth(benchmark::State& state) {
   const circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
@@ -88,7 +118,12 @@ BENCHMARK(BM_Sizing)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 // per iteration on a large netlist (items = swaps/s). The repropagated
 // counter exposes the O(cone) work that replaces O(gates) full passes.
 void BM_IncrementalSta(benchmark::State& state) {
-  circuit::Netlist nl = makeNetlist(static_cast<int>(state.range(0)));
+  const int size = static_cast<int>(state.range(0));
+  // The 100k/1M points use the scale profile (same substrate as
+  // BM_StaFull and the scale smoke); the small points keep the historical
+  // fixed-depth netlist so numbers stay comparable across PRs.
+  circuit::Netlist nl =
+      size >= 100000 ? makeScaledNetlist(size) : makeNetlist(size);
   sta::IncrementalSta inc(nl);
   const auto gates = nl.gateIds();
   util::Rng rng(7);
@@ -112,7 +147,11 @@ void BM_IncrementalSta(benchmark::State& state) {
       static_cast<double>(inc.nodesRepropagated()) /
       static_cast<double>(2 * state.iterations());
 }
-BENCHMARK(BM_IncrementalSta)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_IncrementalSta)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 // Design-space sweep on the nano::exec pool (items = grid points/s).
 // Compare NANO_EXEC_THREADS=1 against the core count for the speedup.

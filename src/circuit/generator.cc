@@ -20,6 +20,19 @@ CellFunction pickFunction(util::Rng& rng) {
 
 }  // namespace
 
+GeneratorConfig scaledConfig(int gates) {
+  if (gates < 64) throw std::invalid_argument("scaledConfig: gates < 64");
+  GeneratorConfig c;
+  c.gates = gates;
+  const int root = static_cast<int>(std::sqrt(static_cast<double>(gates)));
+  c.inputs = std::max(16, root / 2);
+  c.outputs = std::max(16, root / 2);
+  int log2 = 0;
+  for (int g = gates; g > 1; g >>= 1) ++log2;
+  c.depth = std::max(8, 2 * log2 - 2);  // ~18 at 2k gates, ~38 at 1M
+  return c;
+}
+
 Netlist randomLogic(const Library& library, const GeneratorConfig& config,
                     util::Rng& rng) {
   if (config.inputs < 1 || config.gates < config.depth || config.depth < 1) {
@@ -28,6 +41,7 @@ Netlist randomLogic(const Library& library, const GeneratorConfig& config,
   const auto& node = library.characterizer().node();
   Netlist nl(defaultWireCapPerFanout(node),
              4.0 * library.smallestInverterInputCap());
+  nl.reserve(config.inputs + config.gates);
 
   std::vector<std::vector<int>> byLevel(static_cast<std::size_t>(config.depth) + 1);
   for (int i = 0; i < config.inputs; ++i) byLevel[0].push_back(nl.addInput());
@@ -107,6 +121,7 @@ Netlist pipelinedLogic(const Library& library, const GeneratorConfig& config,
   const auto& node = library.characterizer().node();
   Netlist out(defaultWireCapPerFanout(node),
               4.0 * library.smallestInverterInputCap());
+  out.reserve(config.inputs + config.gates);
 
   const int minDepth = std::max(2, config.depth / 4);
   for (int b = 0; b < blocks; ++b) {

@@ -25,6 +25,14 @@ struct GeneratorConfig {
   double earlyOutputFraction = 0.65;
 };
 
+/// GeneratorConfig scaled to `gates` total gates (64 .. millions) that
+/// keeps the paper's slack-rich profile at any size: I/O counts grow with
+/// sqrt(gates) (Rent-like), logic depth with log2(gates), and the
+/// shallow-bias / early-output knobs stay at their defaults so "over half
+/// of all timing paths use less than half the cycle" holds from the 2k
+/// test circuits up to the million-gate scale runs.
+GeneratorConfig scaledConfig(int gates);
+
 /// Generate a random combinational DAG using smallest-drive low-Vth cells
 /// from `library`. Deterministic given `rng` state.
 Netlist randomLogic(const Library& library, const GeneratorConfig& config,

@@ -12,6 +12,12 @@ Netlist::Netlist(double wireCapPerFanout, double outputLoadCap)
   }
 }
 
+void Netlist::reserve(int nodes) {
+  if (nodes <= 0) return;
+  nodes_.reserve(static_cast<std::size_t>(nodes));
+  loadCap_.reserve(static_cast<std::size_t>(nodes));
+}
+
 int Netlist::addInput() {
   Node n;
   n.kind = NodeKind::PrimaryInput;

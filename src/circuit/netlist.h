@@ -30,6 +30,10 @@ class Netlist {
   /// output.
   explicit Netlist(double wireCapPerFanout = 0.0, double outputLoadCap = 0.0);
 
+  /// Pre-size the node storage (generators building million-gate netlists
+  /// call this to avoid repeated vector regrowth).
+  void reserve(int nodes);
+
   int addInput();
   /// Adds a gate; `fanins` must reference existing nodes and match the
   /// cell's fanin count.

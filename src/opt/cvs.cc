@@ -34,7 +34,9 @@ CvsResult runCvs(const Netlist& netlist, const circuit::Library& library,
   // Incremental engine on the unconverted working netlist: keeps per-gate
   // slacks live for the prune below at O(cone) per accepted move. The
   // exact converter-aware verification still times a converted copy.
-  sta::IncrementalSta inc(work, clock);
+  // Seeded with timingBefore (work is still an exact copy), so no second
+  // full analysis runs.
+  sta::IncrementalSta inc(work, res.timingBefore);
   const auto gates = work.gateIds();
   int lowCount = 0;
 

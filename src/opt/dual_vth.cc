@@ -25,8 +25,9 @@ DualVthResult runDualVth(const Netlist& netlist,
   Netlist work = netlist;
   const double margin = options.guardband * clock;
   // Incremental engine: each trial swap repropagates only the affected
-  // cone instead of re-timing the whole netlist.
-  sta::IncrementalSta inc(work, clock);
+  // cone instead of re-timing the whole netlist. Seeded with timingBefore
+  // (work is still an exact copy), so no second full analysis runs.
+  sta::IncrementalSta inc(work, res.timingBefore);
 
   // Rank candidates by leakage saved per delay added (sensitivity order).
   // Ranking only reads the shared netlist, so it maps over the gates in

@@ -39,7 +39,7 @@ SimultaneousResult runSimultaneous(const Netlist& netlist,
   res.powerBefore = power::computePower(netlist, freq, options.piActivity);
 
   Netlist work = netlist;
-  sta::IncrementalSta inc(work, clock);
+  sta::IncrementalSta inc(work, res.timingBefore);
   auto activity = power::propagateActivity(work, 0.5, options.piActivity);
   // Moves that failed full STA despite fitting the local slack estimate:
   // (gate, isVth, drive quantized) — skip instead of retrying forever.

@@ -57,8 +57,10 @@ SizingResult downsizeForPower(const Netlist& netlist,
   const double margin = options.guardband * clock;
   constexpr int kMaxPasses = 4;
   // Incremental engine: trial swaps repropagate only the affected cone;
-  // slacks are always current, so each pass sorts on live values.
-  sta::IncrementalSta inc(work, clock);
+  // slacks are always current, so each pass sorts on live values. Seeded
+  // with timingBefore (work is still an exact copy), so no second full
+  // analysis runs.
+  sta::IncrementalSta inc(work, res.timingBefore);
 
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     // Most-slack-first order.
@@ -118,7 +120,7 @@ SizingResult upsizeForTiming(const Netlist& netlist,
 
   Netlist work = netlist;
   const int maxMoves = 4 * netlist.gateCount();
-  sta::IncrementalSta inc(work, clockPeriod);
+  sta::IncrementalSta inc(work, res.timingBefore);
   for (int move = 0; move < maxMoves; ++move) {
     if (inc.meetsTiming()) break;
 

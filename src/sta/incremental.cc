@@ -25,54 +25,76 @@ IncrementalSta::IncrementalSta(Netlist& netlist, double clockPeriod,
   rebuild();
 }
 
+IncrementalSta::IncrementalSta(Netlist& netlist, const TimingResult& seed,
+                               double epsilon)
+    : netlist_(&netlist), clock_(seed.clockPeriod), epsilon_(epsilon) {
+  if (epsilon < 0) {
+    throw std::invalid_argument("IncrementalSta: negative epsilon");
+  }
+  if (seed.clockPeriod <= 0) {
+    throw std::invalid_argument("IncrementalSta: seed has no clock period");
+  }
+  const auto n = static_cast<std::size_t>(netlist.nodeCount());
+  if (seed.arrival.size() != n || seed.required.size() != n ||
+      seed.slack.size() != n) {
+    throw std::invalid_argument(
+        "IncrementalSta: seed result does not cover the netlist");
+  }
+  soa_.rebuild(*netlist_, {.keepCells = false});
+  bindState(seed.arrival, seed.required, seed.slack);
+}
+
 void IncrementalSta::rebuild() {
   if (pending_) {
     throw std::logic_error("IncrementalSta::rebuild: trial pending");
   }
-  TimingResult r = analyze(*netlist_, clock_ > 0 ? clock_ : -1.0);
+  soa_.rebuild(*netlist_, {.keepCells = false});
+  TimingResult r = analyze(soa_, clock_ > 0 ? clock_ : -1.0);
   clock_ = r.clockPeriod;  // resolved to the critical delay when <= 0
-  arrival_ = std::move(r.arrival);
-  required_ = std::move(r.required);
-  slack_ = std::move(r.slack);
+  bindState(std::move(r.arrival), std::move(r.required), std::move(r.slack));
+}
+
+void IncrementalSta::bindState(std::vector<double> arrival,
+                               std::vector<double> required,
+                               std::vector<double> slack) {
+  arrival_ = std::move(arrival);
+  required_ = std::move(required);
+  slack_ = std::move(slack);
   const std::size_t n = arrival_.size();
   mark_.assign(n, 0);
   queued_.assign(n, 0);
   epoch_ = 0;
   queueEpoch_ = 0;
   journal_.clear();
-}
-
-double IncrementalSta::gateDelay(int id) const {
-  const auto& node = netlist_->node(id);
-  if (node.kind != Netlist::NodeKind::Gate) return 0.0;
-  return node.cell.delay(netlist_->loadCap(id));
+  pending_ = false;
+  pendingGate_ = -1;
 }
 
 double IncrementalSta::recomputeArrival(int id) const {
-  const auto& node = netlist_->node(id);
-  if (node.kind != Netlist::NodeKind::Gate) return 0.0;
+  const auto u = static_cast<std::uint32_t>(id);
+  if (!soa_.isGate(u)) return 0.0;
   // Same clamp-at-zero max as sta::analyze's forward pass.
   double worst = 0.0;
-  for (int f : node.fanins) {
-    const double a = arrival_[static_cast<std::size_t>(f)];
+  for (const std::uint32_t f : soa_.fanins(u)) {
+    const double a = arrival_[f];
     if (a >= worst) worst = a;
   }
-  return worst + node.cell.delay(netlist_->loadCap(id));
+  return worst + soa_.gateDelay(u);
 }
 
 double IncrementalSta::recomputeRequired(int id) const {
-  const auto& node = netlist_->node(id);
-  double req = node.isOutput ? clock_ : kInf;
-  for (int fo : node.fanouts) {
-    req = std::min(req, required_[static_cast<std::size_t>(fo)] - gateDelay(fo));
+  const auto u = static_cast<std::uint32_t>(id);
+  double req = soa_.isOutput(u) ? clock_ : kInf;
+  for (const std::uint32_t fo : soa_.fanouts(u)) {
+    req = std::min(req, required_[fo] - soa_.gateDelay(fo));
   }
   return req;
 }
 
 double IncrementalSta::worstSlack() const {
   double worst = kInf;
-  for (int id : netlist_->outputs()) {
-    worst = std::min(worst, slack_[static_cast<std::size_t>(id)]);
+  for (const std::uint32_t id : soa_.outputs()) {
+    worst = std::min(worst, slack_[id]);
   }
   return worst;
 }
@@ -107,16 +129,19 @@ void IncrementalSta::trial(int gate, circuit::Cell cell) {
 
   // Delay changes at the swapped gate and at its fanin drivers, whose
   // load includes the swapped cell's input cap.
+  const auto g = static_cast<std::uint32_t>(gate);
   std::vector<int> delayChanged;
-  delayChanged.reserve(node.fanins.size() + 1);
-  for (int f : node.fanins) {
-    if (netlist_->node(f).kind == Netlist::NodeKind::Gate) {
-      delayChanged.push_back(f);
-    }
+  delayChanged.reserve(soa_.fanins(g).size() + 1);
+  for (const std::uint32_t f : soa_.fanins(g)) {
+    if (soa_.isGate(f)) delayChanged.push_back(static_cast<int>(f));
   }
   delayChanged.push_back(gate);
 
-  netlist_->replaceCell(gate, std::move(cell));
+  // Object netlist first (replaceCell validates the swap and throws
+  // before mutating), then the mirror — both refresh the fanin load caps
+  // with the same summation order, so they stay bit-identical.
+  netlist_->replaceCell(gate, cell);
+  soa_.setCell(g, cell);
   const std::int64_t before = repropagated_;
   propagateDelayChange(delayChanged);
   NANO_OBS_COUNT("sta/incremental_trials", 1);
@@ -156,7 +181,10 @@ void IncrementalSta::propagateDelayChange(const std::vector<int>& delayChanged) 
     if (std::abs(updated - old) > epsilon_) {
       save(id);
       arrival_[static_cast<std::size_t>(id)] = updated;
-      for (int fo : netlist_->node(id).fanouts) pushForward(fo);
+      for (const std::uint32_t fo :
+           soa_.fanouts(static_cast<std::uint32_t>(id))) {
+        pushForward(static_cast<int>(fo));
+      }
     }
   }
 
@@ -173,7 +201,9 @@ void IncrementalSta::propagateDelayChange(const std::vector<int>& delayChanged) 
     std::push_heap(heap_.begin(), heap_.end());
   };
   for (int d : delayChanged) {
-    for (int f : netlist_->node(d).fanins) pushBackward(f);
+    for (const std::uint32_t f : soa_.fanins(static_cast<std::uint32_t>(d))) {
+      pushBackward(static_cast<int>(f));
+    }
   }
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end());
@@ -189,7 +219,10 @@ void IncrementalSta::propagateDelayChange(const std::vector<int>& delayChanged) 
     if (changed) {
       save(id);
       required_[static_cast<std::size_t>(id)] = updated;
-      for (int f : netlist_->node(id).fanins) pushBackward(f);
+      for (const std::uint32_t f :
+           soa_.fanins(static_cast<std::uint32_t>(id))) {
+        pushBackward(static_cast<int>(f));
+      }
     }
   }
 
@@ -214,9 +247,10 @@ void IncrementalSta::rollback() {
   if (!pending_) {
     throw std::logic_error("IncrementalSta::rollback: no pending trial");
   }
-  // Restoring the cell also restores the netlist's load-cap cache (same
-  // recompute path), so engine and netlist rewind together.
-  netlist_->replaceCell(pendingGate_, std::move(savedCell_));
+  // Restoring the cell also restores both load-cap caches (same recompute
+  // path), so engine, mirror and netlist rewind together.
+  netlist_->replaceCell(pendingGate_, savedCell_);
+  soa_.setCell(static_cast<std::uint32_t>(pendingGate_), savedCell_);
   for (const Saved& s : journal_) {
     const auto i = static_cast<std::size_t>(s.id);
     arrival_[i] = s.arrival;
@@ -238,24 +272,24 @@ std::vector<int> IncrementalSta::criticalPath() const {
   // and among fanins, walk stops at a primary input.
   double critical = 0.0;
   int end = -1;
-  for (int id : netlist_->outputs()) {
-    if (arrival_[static_cast<std::size_t>(id)] >= critical) {
-      critical = arrival_[static_cast<std::size_t>(id)];
-      end = id;
+  for (const std::uint32_t id : soa_.outputs()) {
+    if (arrival_[id] >= critical) {
+      critical = arrival_[id];
+      end = static_cast<int>(id);
     }
   }
   std::vector<int> path;
   if (end < 0) return path;
   for (int cur = end; cur >= 0;) {
     path.push_back(cur);
-    const auto& node = netlist_->node(cur);
-    if (node.kind == Netlist::NodeKind::PrimaryInput) break;
+    const auto u = static_cast<std::uint32_t>(cur);
+    if (!soa_.isGate(u)) break;
     double worst = 0.0;
     int worstId = -1;
-    for (int f : node.fanins) {
-      if (arrival_[static_cast<std::size_t>(f)] >= worst) {
-        worst = arrival_[static_cast<std::size_t>(f)];
-        worstId = f;
+    for (const std::uint32_t f : soa_.fanins(u)) {
+      if (arrival_[f] >= worst) {
+        worst = arrival_[f];
+        worstId = static_cast<int>(f);
       }
     }
     cur = worstId;
@@ -271,8 +305,8 @@ TimingResult IncrementalSta::exportResult() const {
   r.required = required_;
   r.slack = slack_;
   double critical = 0.0;
-  for (int id : netlist_->outputs()) {
-    critical = std::max(critical, arrival_[static_cast<std::size_t>(id)]);
+  for (const std::uint32_t id : soa_.outputs()) {
+    critical = std::max(critical, arrival_[id]);
   }
   r.criticalPathDelay = critical;
   r.worstSlack = worstSlack();

@@ -9,6 +9,13 @@
 // sta::analyze — the difference between O(n^2) and near-O(n) optimizer
 // passes (paper Sections 2.3-3.3).
 //
+// Storage: the engine mirrors the netlist into a cell-less NetlistSoA at
+// construction/rebuild and walks flat CSR adjacency + delay-parameter
+// arrays during trials — no per-node pointer chasing — while every cell
+// swap is applied to the object netlist and the mirror in lockstep.
+// Steady-state trials allocate nothing: the worklist, journal and epoch
+// arrays persist across trials and the mirror lives in an arena.
+//
 // Every per-node recomputation uses the same operations and summation
 // order as sta::analyze, and the default epsilon of 0 terminates on exact
 // equality, so the engine's state is bit-identical to a fresh full
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "circuit/netlist_soa.h"
 #include "sta/sta.h"
 
 namespace nano::sta {
@@ -37,6 +45,12 @@ class IncrementalSta {
   /// default 0 keeps the state exactly equal to a full reanalysis.
   explicit IncrementalSta(circuit::Netlist& netlist, double clockPeriod = -1.0,
                           double epsilon = 0.0);
+
+  /// Seed from an already computed full analysis of `netlist` (same
+  /// netlist, same clock) instead of re-running one — the optimizers hand
+  /// over their timingBefore. The seed must cover every node.
+  IncrementalSta(circuit::Netlist& netlist, const TimingResult& seed,
+                 double epsilon = 0.0);
 
   [[nodiscard]] double clockPeriod() const { return clock_; }
   [[nodiscard]] double arrival(int id) const {
@@ -75,7 +89,7 @@ class IncrementalSta {
   [[nodiscard]] TimingResult exportResult() const;
 
   /// Recompute everything from scratch (after netlist edits that bypassed
-  /// the engine, e.g. structural changes).
+  /// the engine, e.g. structural changes). Reuses the SoA mirror's arena.
   void rebuild();
 
   /// Nodes repropagated over this engine's lifetime — the incremental
@@ -84,14 +98,16 @@ class IncrementalSta {
   [[nodiscard]] std::int64_t nodesRepropagated() const { return repropagated_; }
 
  private:
+  void bindState(std::vector<double> arrival, std::vector<double> required,
+                 std::vector<double> slack);
   void propagateDelayChange(const std::vector<int>& delayChanged);
   /// Journal (id, arrival, required, slack) once per trial.
   void save(int id);
-  [[nodiscard]] double gateDelay(int id) const;
   [[nodiscard]] double recomputeArrival(int id) const;
   [[nodiscard]] double recomputeRequired(int id) const;
 
   circuit::Netlist* netlist_;
+  circuit::NetlistSoA soa_;  ///< cell-less flat mirror, arena-backed
   double clock_ = 0.0;
   double epsilon_ = 0.0;
   std::vector<double> arrival_;

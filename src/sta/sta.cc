@@ -4,91 +4,164 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/exec.h"
 #include "obs/obs.h"
 
 namespace nano::sta {
 
 using circuit::Netlist;
+using circuit::NetlistSoA;
 
-TimingResult analyze(const Netlist& netlist, double clockPeriod) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Levels at least this big sweep through the exec pool; smaller ones run
+/// serially (same bits either way — every node writes only its own slot).
+constexpr std::size_t kParallelLevelThreshold = 1024;
+
+}  // namespace
+
+const TimingResult& Sta::analyze(double clockPeriod) {
   NANO_OBS_SPAN("sta/analyze");
-  const int n = netlist.nodeCount();
+  const NetlistSoA& soa = *soa_;
+  const std::size_t n = soa.nodeCount();
   NANO_OBS_COUNT("sta/analyze_calls", 1);
-  NANO_OBS_COUNT("sta/nodes_timed", n);
-  TimingResult r;
-  r.arrival.assign(static_cast<std::size_t>(n), 0.0);
-  r.required.assign(static_cast<std::size_t>(n),
-                    std::numeric_limits<double>::infinity());
-  r.slack.assign(static_cast<std::size_t>(n), 0.0);
+  NANO_OBS_COUNT("sta/nodes_timed", static_cast<std::int64_t>(n));
 
-  // Forward pass (node order is topological by construction).
-  std::vector<int> worstFanin(static_cast<std::size_t>(n), -1);
-  for (int i = 0; i < n; ++i) {
-    const auto& node = netlist.node(i);
-    if (node.kind != Netlist::NodeKind::Gate) continue;
-    double worst = 0.0;
-    int worstId = -1;
-    for (int f : node.fanins) {
-      if (r.arrival[static_cast<std::size_t>(f)] >= worst) {
-        worst = r.arrival[static_cast<std::size_t>(f)];
-        worstId = f;
+  if (worstFanin_ == nullptr) {
+    worstFanin_ = arena_.allocateArray<std::int32_t>(n);
+  }
+  result_.arrival.assign(n, 0.0);
+  result_.required.assign(n, kInf);
+  result_.slack.assign(n, 0.0);
+  result_.criticalPath.clear();
+
+  ctx_.soa = &soa;
+  ctx_.order = soa.order().data();
+  ctx_.arrival = result_.arrival.data();
+  ctx_.required = result_.required.data();
+  ctx_.slack = result_.slack.data();
+  ctx_.worstFanin = worstFanin_;
+  SweepCtx* const ctx = &ctx_;
+
+  const auto levelOffsets = soa.levelOffsets();
+  const std::uint32_t levels = soa.levelCount();
+
+  // Forward pass, level by level: a node's arrival reads only strictly
+  // shallower levels, so the nodes of one level are independent. The
+  // per-node arithmetic (fanin order, >= tie-break, delay expression) is
+  // exactly the historical object-walking loop's.
+  const auto forwardRange = [ctx](std::size_t b, std::size_t e) {
+    const NetlistSoA& s = *ctx->soa;
+    for (std::size_t k = b; k < e; ++k) {
+      const std::uint32_t id = ctx->order[ctx->base + k];
+      if (!s.isGate(id)) {
+        ctx->worstFanin[id] = -1;
+        continue;
       }
+      double worst = 0.0;
+      std::int32_t worstId = -1;
+      for (const std::uint32_t f : s.fanins(id)) {
+        if (ctx->arrival[f] >= worst) {
+          worst = ctx->arrival[f];
+          worstId = static_cast<std::int32_t>(f);
+        }
+      }
+      ctx->arrival[id] = worst + s.gateDelay(id);
+      ctx->worstFanin[id] = worstId;
     }
-    const double delay = node.cell.delay(netlist.loadCap(i));
-    r.arrival[static_cast<std::size_t>(i)] = worst + delay;
-    worstFanin[static_cast<std::size_t>(i)] = worstId;
+  };
+  for (std::uint32_t l = 0; l < levels; ++l) {
+    const std::size_t begin = levelOffsets[l];
+    const std::size_t count = levelOffsets[l + 1] - begin;
+    ctx_.base = begin;
+    if (count >= kParallelLevelThreshold) {
+      exec::parallelForBlocked(count, forwardRange);
+    } else {
+      forwardRange(0, count);
+    }
   }
 
-  // Critical endpoint / path delay.
+  // Critical endpoint / path delay (endpoint order preserved from the
+  // object netlist; last maximum wins, as before).
   double critical = 0.0;
-  int criticalEnd = -1;
-  for (int id : netlist.outputs()) {
-    if (r.arrival[static_cast<std::size_t>(id)] >= critical) {
-      critical = r.arrival[static_cast<std::size_t>(id)];
-      criticalEnd = id;
+  std::int32_t criticalEnd = -1;
+  for (const std::uint32_t id : soa.outputs()) {
+    if (result_.arrival[id] >= critical) {
+      critical = result_.arrival[id];
+      criticalEnd = static_cast<std::int32_t>(id);
     }
   }
-  r.criticalPathDelay = critical;
-  r.clockPeriod = clockPeriod > 0 ? clockPeriod : critical;
+  result_.criticalPathDelay = critical;
+  result_.clockPeriod = clockPeriod > 0 ? clockPeriod : critical;
+  ctx_.clock = result_.clockPeriod;
 
-  // Backward pass.
-  for (int id : netlist.outputs()) {
-    r.required[static_cast<std::size_t>(id)] = r.clockPeriod;
-  }
-  for (int i = n; i-- > 0;) {
-    const auto& node = netlist.node(i);
-    for (int f : node.fanins) {
-      const double delay =
-          node.kind == Netlist::NodeKind::Gate
-              ? node.cell.delay(netlist.loadCap(i))
-              : 0.0;
-      r.required[static_cast<std::size_t>(f)] =
-          std::min(r.required[static_cast<std::size_t>(f)],
-                   r.required[static_cast<std::size_t>(i)] - delay);
+  // Backward pass, deepest level first: a node's required time reads only
+  // strictly deeper levels (its consumers). The historical scatter-min is
+  // re-expressed as a gather; min over doubles is exact, so the result is
+  // bit-identical regardless of accumulation order.
+  const auto backwardRange = [ctx](std::size_t b, std::size_t e) {
+    const NetlistSoA& s = *ctx->soa;
+    for (std::size_t k = b; k < e; ++k) {
+      const std::uint32_t id = ctx->order[ctx->base + k];
+      double req = s.isOutput(id) ? ctx->clock : kInf;
+      for (const std::uint32_t fo : s.fanouts(id)) {
+        req = std::min(req, ctx->required[fo] - s.gateDelay(fo));
+      }
+      ctx->required[id] = req;
+    }
+  };
+  for (std::uint32_t l = levels; l-- > 0;) {
+    const std::size_t begin = levelOffsets[l];
+    const std::size_t count = levelOffsets[l + 1] - begin;
+    ctx_.base = begin;
+    if (count >= kParallelLevelThreshold) {
+      exec::parallelForBlocked(count, backwardRange);
+    } else {
+      backwardRange(0, count);
     }
   }
-  for (int i = 0; i < n; ++i) {
-    const double req = r.required[static_cast<std::size_t>(i)];
-    r.slack[static_cast<std::size_t>(i)] =
-        (req == std::numeric_limits<double>::infinity())
-            ? r.clockPeriod  // dangling node: unconstrained
-            : req - r.arrival[static_cast<std::size_t>(i)];
+
+  // Slack.
+  const auto slackRange = [ctx](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double req = ctx->required[i];
+      ctx->slack[i] = (req == kInf) ? ctx->clock : req - ctx->arrival[i];
+    }
+  };
+  if (n >= kParallelLevelThreshold) {
+    exec::parallelForBlocked(n, slackRange);
+  } else {
+    slackRange(0, n);
   }
 
   // Worst endpoint slack and critical path extraction.
-  r.worstSlack = std::numeric_limits<double>::infinity();
-  for (int id : netlist.outputs()) {
-    r.worstSlack = std::min(r.worstSlack, r.slack[static_cast<std::size_t>(id)]);
+  result_.worstSlack = kInf;
+  for (const std::uint32_t id : soa.outputs()) {
+    result_.worstSlack = std::min(result_.worstSlack, result_.slack[id]);
   }
   if (criticalEnd >= 0) {
-    for (int cur = criticalEnd; cur >= 0;
-         cur = worstFanin[static_cast<std::size_t>(cur)]) {
-      r.criticalPath.push_back(cur);
-      if (netlist.node(cur).kind == Netlist::NodeKind::PrimaryInput) break;
+    for (std::int32_t cur = criticalEnd; cur >= 0;
+         cur = worstFanin_[static_cast<std::uint32_t>(cur)]) {
+      result_.criticalPath.push_back(cur);
+      if (!soa.isGate(static_cast<std::uint32_t>(cur))) break;
     }
-    std::reverse(r.criticalPath.begin(), r.criticalPath.end());
+    std::reverse(result_.criticalPath.begin(), result_.criticalPath.end());
   }
-  return r;
+
+  NANO_OBS_GAUGE("sta/arena_bytes", static_cast<double>(arenaBytes()));
+  return result_;
+}
+
+TimingResult analyze(const NetlistSoA& soa, double clockPeriod) {
+  Sta engine(soa);
+  return engine.analyze(clockPeriod);
+}
+
+TimingResult analyze(const Netlist& netlist, double clockPeriod) {
+  const NetlistSoA soa(netlist, {.keepCells = false});
+  return analyze(soa, clockPeriod);
 }
 
 std::vector<double> endpointArrivals(const Netlist& netlist) {

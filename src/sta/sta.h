@@ -1,12 +1,23 @@
-// Static timing analysis over a circuit::Netlist: topological arrival and
-// required times, slacks, the critical path, and the endpoint slack
-// distribution the paper's multi-Vdd argument rests on ("over half of all
-// timing paths commonly use less than half the clock cycle").
+// Static timing analysis: topological arrival and required times, slacks,
+// the critical path, and the endpoint slack distribution the paper's
+// multi-Vdd argument rests on ("over half of all timing paths commonly use
+// less than half the clock cycle").
+//
+// The engine sweeps the flat circuit::NetlistSoA arrays level by level —
+// every node of a level depends only on strictly earlier (forward) or
+// strictly later (backward) levels, so each level runs data-parallel
+// through exec::parallelForBlocked with bit-identical results at any lane
+// count. The object-netlist overloads are thin wrappers that mirror into
+// SoA form first; their results are bit-identical to the historical
+// pointer-walking implementation.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "circuit/netlist_soa.h"
+#include "util/arena.h"
 #include "util/stats.h"
 
 namespace nano::sta {
@@ -26,8 +37,60 @@ struct TimingResult {
   }
 };
 
-/// Analyze `netlist` against `clockPeriod`. Pass clockPeriod <= 0 to time
-/// against the circuit's own critical-path delay (zero worst slack).
+/// Reusable full-analysis engine over a NetlistSoA. Binds by reference;
+/// the caller keeps the SoA alive. All working storage (the level-sweep
+/// scratch and the TimingResult buffers) is allocated on the first
+/// analyze() and reused afterwards, so steady-state re-analysis performs
+/// zero heap allocations — arenaGrowthCount() is the proof the scale
+/// smoke test asserts on.
+class Sta {
+ public:
+  explicit Sta(const circuit::NetlistSoA& soa) : soa_(&soa) {}
+
+  /// Analyze against `clockPeriod`; pass <= 0 to time against the
+  /// circuit's own critical-path delay (zero worst slack). Returns the
+  /// internal result, valid until the next analyze() call.
+  const TimingResult& analyze(double clockPeriod = -1.0);
+
+  [[nodiscard]] const TimingResult& result() const { return result_; }
+
+  /// Heap-growth events of the scratch arena over this engine's lifetime
+  /// (flat across steady-state analyze() calls).
+  [[nodiscard]] std::int64_t arenaGrowthCount() const {
+    return arena_.growthCount();
+  }
+  /// Flat-core working set: the bound SoA's arrays plus this engine's
+  /// scratch, bytes. Also exported as the `sta/arena_bytes` gauge.
+  [[nodiscard]] std::size_t arenaBytes() const {
+    return soa_->arenaBytes() + arena_.bytesUsed();
+  }
+
+ private:
+  struct SweepCtx {
+    const circuit::NetlistSoA* soa = nullptr;
+    const std::uint32_t* order = nullptr;
+    double* arrival = nullptr;
+    double* required = nullptr;
+    double* slack = nullptr;
+    std::int32_t* worstFanin = nullptr;
+    std::size_t base = 0;  ///< offset of the level being swept
+    double clock = 0.0;
+  };
+
+  const circuit::NetlistSoA* soa_;
+  util::Arena arena_;
+  std::int32_t* worstFanin_ = nullptr;
+  SweepCtx ctx_;
+  TimingResult result_;
+};
+
+/// One-shot analysis of a NetlistSoA.
+TimingResult analyze(const circuit::NetlistSoA& soa, double clockPeriod = -1.0);
+
+/// Analyze `netlist` against `clockPeriod` (object-API wrapper: mirrors
+/// into a NetlistSoA and runs the flat engine; bit-identical results).
+/// Pass clockPeriod <= 0 to time against the circuit's own critical-path
+/// delay (zero worst slack).
 TimingResult analyze(const circuit::Netlist& netlist, double clockPeriod = -1.0);
 
 /// Arrival times at the endpoints (primary outputs), s.

@@ -3,6 +3,9 @@
 #include <sstream>
 #include <string>
 
+#include "circuit/generator.h"
+#include "circuit/library.h"
+#include "circuit/netlist_soa.h"
 #include "core/analysis.h"
 #include "core/design_space.h"
 #include "core/experiments.h"
@@ -11,8 +14,10 @@
 #include "obs/obs.h"
 #include "powergrid/grid_model.h"
 #include "powergrid/irdrop.h"
+#include "sta/sta.h"
 #include "svc/json.h"
 #include "tech/itrs.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace nano::svc {
@@ -269,6 +274,32 @@ JsonValue evalNodeSummary(const NodeSummaryParams& p) {
   return data;
 }
 
+JsonValue evalSta(const StaParams& p) {
+  const tech::TechNode& node = tech::nodeByFeature(p.nodeNm);
+  const circuit::Library library(node);
+  util::Rng rng(static_cast<std::uint64_t>(p.seed));
+  const circuit::GeneratorConfig cfg = circuit::scaledConfig(p.gates);
+  const circuit::Netlist netlist =
+      circuit::pipelinedLogic(library, cfg, rng, p.blocks);
+  const circuit::NetlistSoA soa(netlist, {.keepCells = false});
+  const sta::TimingResult r = sta::analyze(soa);
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("gates", netlist.gateCount());
+  data.set("nodes", netlist.nodeCount());
+  data.set("endpoints", static_cast<int>(netlist.outputs().size()));
+  data.set("levels", static_cast<int>(soa.levelCount()));
+  data.set("critical_path_delay_ps", r.criticalPathDelay / ps);
+  data.set("critical_path_gates",
+           static_cast<int>(r.criticalPath.size()));
+  // The paper's slack-profile statistic: share of endpoints using less
+  // than half the (critical-path) cycle.
+  data.set("fraction_faster_than_half",
+           sta::fractionOfPathsFasterThan(r, netlist, 0.5));
+  data.set("soa_bytes", static_cast<double>(soa.arenaBytes()));
+  return data;
+}
+
 JsonValue dispatch(const Request& request) {
   switch (request.kind) {
     case RequestKind::Figure1:
@@ -295,6 +326,8 @@ JsonValue dispatch(const Request& request) {
       return evalGridSolve(std::get<GridSolveParams>(request.params));
     case RequestKind::NodeSummary:
       return evalNodeSummary(std::get<NodeSummaryParams>(request.params));
+    case RequestKind::Sta:
+      return evalSta(std::get<StaParams>(request.params));
     case RequestKind::Stats:
       break;  // handled before dispatch: live data, not a pure function
   }

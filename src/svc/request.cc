@@ -15,7 +15,7 @@ constexpr const char* kKindNames[kRequestKindCount] = {
     "figure1",      "figure2",     "figure34",       "figure5",
     "table2",       "design_point", "design_grid",   "design_optimum",
     "repeater",     "wire",        "grid_solve",     "node_summary",
-    "stats",
+    "sta",          "stats",
 };
 
 constexpr const char* kPriorityNames[3] = {"high", "normal", "low"};
@@ -154,6 +154,12 @@ void keyFields(KeyBuilder& k, const GridSolveParams& p) {
 }
 void keyFields(KeyBuilder& k, const NodeSummaryParams& p) {
   k.field("node_nm", p.nodeNm);
+}
+void keyFields(KeyBuilder& k, const StaParams& p) {
+  k.field("node_nm", p.nodeNm);
+  k.field("gates", p.gates);
+  k.field("seed", p.seed);
+  k.field("blocks", p.blocks);
 }
 void keyFields(KeyBuilder& k, const StatsParams& p) {
   k.field("delta", p.delta);
@@ -303,6 +309,19 @@ void readParams(ParamReader& r, GridSolveParams& p) {
 void readParams(ParamReader& r, NodeSummaryParams& p) {
   r.integer("node_nm", p.nodeNm);
 }
+void readParams(ParamReader& r, StaParams& p) {
+  r.integer("node_nm", p.nodeNm);
+  r.integer("gates", p.gates);
+  r.integer("seed", p.seed);
+  r.integer("blocks", p.blocks);
+  if (p.gates < 64 || p.gates > 2000000) {
+    throw std::invalid_argument(
+        "parameter \"gates\" must be in [64, 2000000]");
+  }
+  if (p.blocks < 1 || p.blocks > 64) {
+    throw std::invalid_argument("parameter \"blocks\" must be in [1, 64]");
+  }
+}
 void readParams(ParamReader& r, StatsParams& p) {
   r.boolean("delta", p.delta);
 }
@@ -321,6 +340,7 @@ Params defaultParams(RequestKind kind) {
     case RequestKind::Wire: return WireParams{};
     case RequestKind::GridSolve: return GridSolveParams{};
     case RequestKind::NodeSummary: return NodeSummaryParams{};
+    case RequestKind::Sta: return StaParams{};
     case RequestKind::Stats: return StatsParams{};
   }
   return Fig1Params{};

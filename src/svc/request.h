@@ -31,9 +31,10 @@ enum class RequestKind {
   Wire,           ///< per-length RC of a node's global wire
   GridSolve,      ///< one power-grid mesh solve
   NodeSummary,    ///< end-to-end roadmap-node characterization
+  Sta,            ///< full STA of a generated netlist (flat SoA engine)
   Stats,          ///< live metrics snapshot of the serving process
 };
-inline constexpr int kRequestKindCount = 13;
+inline constexpr int kRequestKindCount = 14;
 
 /// Stable wire name ("figure1", "design_point", ...).
 const char* kindName(RequestKind kind);
@@ -111,6 +112,18 @@ struct GridSolveParams {
 struct NodeSummaryParams {
   int nodeNm = 35;
 };
+struct StaParams {
+  int nodeNm = 35;
+  /// Total gate target of the generated design slice (64 .. 2,000,000 —
+  /// the service guards the upper end so one request cannot occupy an
+  /// evaluation lane for minutes).
+  int gates = 20000;
+  /// Generator seed; same (node, gates, seed, blocks) => same netlist and
+  /// bit-identical timing, so the result caches like any pure kind.
+  int seed = 1;
+  /// Pipeline blocks of the generated slice (depth spread).
+  int blocks = 8;
+};
 struct StatsParams {
   /// Report counter increases since the previous stats snapshot instead of
   /// absolute values.
@@ -121,7 +134,7 @@ using Params =
     std::variant<Fig1Params, Fig2Params, Fig34Params, Fig5Params, Table2Params,
                  DesignPointParams, DesignGridParams, DesignOptimumParams,
                  RepeaterParams, WireParams, GridSolveParams,
-                 NodeSummaryParams, StatsParams>;
+                 NodeSummaryParams, StaParams, StatsParams>;
 
 /// One admitted request. `id` is an opaque client token echoed back on the
 /// response; it plays no role in caching.
