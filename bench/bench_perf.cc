@@ -18,6 +18,7 @@
 #include "opt/dual_vth.h"
 #include "opt/sizing.h"
 #include "powergrid/grid_model.h"
+#include "scenario/scenario.h"
 #include "sim/circuit_sim.h"
 #include "sta/incremental.h"
 #include "sta/sta.h"
@@ -410,6 +411,27 @@ void BM_SvcThroughput(benchmark::State& state) {
   state.counters["hit_rate"] = (hits + joins) / (hits + joins + misses);
 }
 BENCHMARK(BM_SvcThroughput)->Unit(benchmark::kMillisecond);
+
+// Closed-loop scenario engine: one DTM run of Arg(0) steps over the
+// cached canonical plant. Items = integration steps/s; the plant build
+// (netlist + STA + grid solve) happens once outside the timed loop, so
+// this times the per-step feedback arithmetic and check evaluation.
+void BM_Scenario(benchmark::State& state) {
+  scenario::ScenarioSpec spec;
+  spec.steps = state.range(0);
+  spec.traceStride = 1000;
+  scenario::ScenarioSetup setup = scenario::makeScenario(spec);
+  long checks = 0;
+  for (auto _ : state) {
+    const scenario::ScenarioResult r =
+        scenario::runScenario(*setup.plant, *setup.policy, setup.config);
+    checks = r.checksEvaluated;
+    benchmark::DoNotOptimize(r.energyJ);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["checks_per_run"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_Scenario)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
 
 void BM_TransientSim(benchmark::State& state) {
   const auto& node = tech::nodeByFeature(100);

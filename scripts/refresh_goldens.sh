@@ -21,6 +21,15 @@ for csv in fig1 fig2 fig3 fig4 fig5 table2 repeaters; do
   mv "$csv.csv" "golden/$csv.csv"
 done
 
+# Canonical closed-loop scenario traces (scenario_golden_test re-checks
+# them byte-for-byte at 1, 2, and 8 lanes).
+scenario_gen="$BUILD/tools/scenario_gen"
+if [ ! -x "$scenario_gen" ]; then
+  echo "missing $scenario_gen -- build the tools targets first" >&2
+  exit 1
+fi
+"$scenario_gen" golden
+
 # Replay the committed request trace through nanod at one exec lane
 # (--block so nothing sheds; the output is byte-identical at any lane
 # count, which svc_replay_test re-checks at the session default).
@@ -33,3 +42,4 @@ NANO_EXEC_THREADS=1 "$nanod" --input golden/nanod_trace.jsonl --block \
   > golden/nanod_replay.jsonl
 
 echo "refreshed: $(ls golden/*.csv golden/nanod_replay.jsonl | tr '\n' ' ')"
+echo "re-run golden_test, scenario_golden_test, svc_replay_test, net_test"

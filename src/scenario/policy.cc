@@ -1,0 +1,107 @@
+#include "scenario/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nano::scenario {
+
+void ReactiveDtmPolicy::reset() {
+  throttled_ = false;
+  pendingChangeAt_ = -1.0;
+  pendingState_ = false;
+}
+
+Actuation ReactiveDtmPolicy::decide(const PolicyObservation& obs) {
+  // Same sensor state machine as thermal::simulateDtm: the comparator
+  // output (with hysteresis) schedules an actuation change sensorDelay
+  // in the future; the change applies once its time arrives.
+  const bool wants =
+      throttled_
+          ? (obs.temperatureK >
+             config_.tripTemperatureK - config_.hysteresisK)
+          : (obs.temperatureK > config_.tripTemperatureK);
+  if (wants != throttled_) {
+    if (pendingChangeAt_ < 0 || pendingState_ != wants) {
+      pendingChangeAt_ = obs.timeS + config_.sensorDelayS;
+      pendingState_ = wants;
+    }
+    if (obs.timeS >= pendingChangeAt_) {
+      throttled_ = pendingState_;
+      pendingChangeAt_ = -1.0;
+    }
+  } else {
+    pendingChangeAt_ = -1.0;
+  }
+
+  Actuation act;
+  if (throttled_) {
+    act.freqFraction = config_.throttleFactor;
+    act.vddFraction = config_.scaleVdd ? config_.throttleFactor : 1.0;
+  }
+  return act;
+}
+
+TableDvfsPolicy::TableDvfsPolicy(const Config& config) : config_(config) {
+  if (config_.levels.empty()) {
+    throw std::invalid_argument("TableDvfsPolicy: empty level table");
+  }
+}
+
+Actuation TableDvfsPolicy::decide(const PolicyObservation& obs) {
+  const double d = std::clamp(obs.demandFraction, 0.0, 1.0);
+  // The thermal::simulateDvfs governor contract: admissible = frequency
+  // covers the demand; among admissible pick the lowest power factor;
+  // fastest level when demand exceeds them all.
+  const thermal::DvfsLevel* fastest = &config_.levels.front();
+  const thermal::DvfsLevel* best = nullptr;
+  for (const auto& level : config_.levels) {
+    if (level.freqFraction > fastest->freqFraction) fastest = &level;
+    if (level.freqFraction + 1e-12 >= d &&
+        (best == nullptr || level.powerFactor() < best->powerFactor())) {
+      best = &level;
+    }
+  }
+  const thermal::DvfsLevel& pick = best != nullptr ? *best : *fastest;
+  Actuation act;
+  act.freqFraction = pick.freqFraction;
+  act.vddFraction = pick.vddFraction;
+  act.clockGate =
+      config_.gateBelowDemand > 0.0 && d < config_.gateBelowDemand;
+  return act;
+}
+
+void ExploreDvsPolicy::reset() {
+  vdd_ = 1.0;
+  stableSteps_ = 0;
+}
+
+Actuation ExploreDvsPolicy::decide(const PolicyObservation& obs) {
+  const double slackGuard = config_.slackGuardFraction * obs.clockPeriodS;
+  const bool tempTight =
+      config_.temperatureLimitK > 0.0 &&
+      obs.temperatureK > config_.temperatureLimitK - config_.tempGuardK;
+  const bool irTight =
+      obs.irDropFraction > config_.irGuardFraction * config_.irBudgetFraction;
+  const bool slackTight = obs.slackS < slackGuard;
+
+  if (slackTight || tempTight || irTight) {
+    // A margin is closing: retreat one step immediately and restart the
+    // settling count. The guard bands keep the retreat ahead of the
+    // engine's hard assertions.
+    vdd_ = std::min(1.0, vdd_ + config_.vddStep);
+    stableSteps_ = 0;
+  } else if (++stableSteps_ >= config_.holdSteps) {
+    vdd_ = std::max(config_.vddMin, vdd_ - config_.vddStep);
+    stableSteps_ = 0;
+  }
+
+  Actuation act;
+  act.vddFraction = vdd_;
+  // Linear V-f tracking: the delay surface grows faster than 1/V near
+  // threshold, so slack still shrinks as Vdd falls and the slack guard
+  // eventually binds — that bind point is the exploration's answer.
+  act.freqFraction = vdd_;
+  return act;
+}
+
+}  // namespace nano::scenario

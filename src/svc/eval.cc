@@ -9,11 +9,13 @@
 #include "core/analysis.h"
 #include "core/design_space.h"
 #include "core/experiments.h"
+#include "exec/exec.h"
 #include "interconnect/repeater.h"
 #include "interconnect/wire.h"
 #include "obs/obs.h"
 #include "powergrid/grid_model.h"
 #include "powergrid/irdrop.h"
+#include "scenario/scenario.h"
 #include "sta/sta.h"
 #include "svc/json.h"
 #include "tech/itrs.h"
@@ -300,6 +302,155 @@ JsonValue evalSta(const StaParams& p) {
   return data;
 }
 
+scenario::ScenarioSpec scenarioSpec(const ScenarioParams& p) {
+  scenario::ScenarioSpec spec;
+  spec.nodeNm = p.nodeNm;
+  spec.scenario = p.scenario;
+  spec.policy = p.policy;
+  spec.steps = p.steps;
+  spec.dtUs = p.dtUs;
+  spec.gates = p.gates;
+  spec.seed = p.seed;
+  spec.traceStride = p.traceStride;
+  spec.knobA = p.knobA;
+  spec.knobB = p.knobB;
+  return spec;
+}
+
+JsonValue scenarioSummaryJson(const scenario::ScenarioResult& r) {
+  JsonValue o = JsonValue::object();
+  o.set("ok", r.ok);
+  o.set("steps", static_cast<double>(r.steps));
+  o.set("checks_evaluated", static_cast<double>(r.checksEvaluated));
+  o.set("violations", static_cast<double>(r.violationCount));
+  o.set("energy_j", r.energyJ);
+  o.set("baseline_energy_j", r.baselineEnergyJ);
+  o.set("energy_savings", r.energySavings());
+  o.set("throughput_fraction", r.throughputFraction);
+  o.set("max_temperature_k", r.maxTemperatureK);
+  o.set("avg_temperature_k", r.avgTemperatureK);
+  o.set("peak_power_w", r.peakPowerW);
+  o.set("peak_ir_drop_fraction", r.peakIrDropFraction);
+  o.set("peak_rush_fraction", r.peakRushFraction);
+  o.set("worst_slack_ps", r.worstSlackS / ps);
+  o.set("gate_events", static_cast<double>(r.gateEvents));
+  o.set("vdd_steps", static_cast<double>(r.vddSteps));
+  return o;
+}
+
+JsonValue evalScenario(const ScenarioParams& p) {
+  scenario::ScenarioSetup setup = scenario::makeScenario(scenarioSpec(p));
+  const scenario::ScenarioResult r =
+      scenario::runScenario(*setup.plant, *setup.policy, setup.config);
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.nodeNm);
+  data.set("scenario", p.scenario);
+  data.set("policy", setup.policy->name());
+  data.set("clock_period_ps", setup.plant->clockPeriod() / ps);
+  data.set("gate_count", setup.plant->gateCount());
+  data.set("base_drop_fraction", setup.plant->baseDropFraction());
+  data.set("summary", scenarioSummaryJson(r));
+  JsonValue violations = JsonValue::array();
+  for (const scenario::Violation& v : r.violations) {
+    JsonValue o = JsonValue::object();
+    o.set("check", scenario::checkKindName(v.kind));
+    o.set("step", static_cast<double>(v.step));
+    o.set("time_s", v.timeS);
+    o.set("value", v.value);
+    o.set("limit", v.limit);
+    violations.push(std::move(o));
+  }
+  data.set("violations", std::move(violations));
+  if (p.includeTrace) {
+    JsonValue trace = JsonValue::array();
+    for (const scenario::StepRecord& s : r.trace) {
+      JsonValue o = JsonValue::object();
+      o.set("time_s", s.timeS);
+      o.set("demand", s.demand);
+      o.set("freq_fraction", s.freqFraction);
+      o.set("vdd_fraction", s.vddFraction);
+      o.set("gated", s.gated);
+      o.set("power_w", s.powerW);
+      o.set("temperature_k", s.temperatureK);
+      o.set("slack_ps", s.slackS / ps);
+      o.set("ir_drop_fraction", s.irDropFraction);
+      o.set("rush_fraction", s.rushFraction);
+      o.set("violations", static_cast<double>(s.violations));
+      trace.push(std::move(o));
+    }
+    data.set("trace", std::move(trace));
+  }
+  return data;
+}
+
+JsonValue evalScenarioSweep(const ScenarioSweepParams& p) {
+  const std::string policy = p.base.policy.empty()
+                                 ? scenario::defaultPolicyFor(p.base.scenario)
+                                 : p.base.policy;
+  const scenario::KnobRange range = scenario::knobRangeFor(policy);
+  // Interior sampling: (i + 0.5) / axis never lands on a knob value of
+  // exactly 0, which would read as "policy default" instead of the
+  // sampled point.
+  auto knobAt = [](double lo, double hi, int i, int n) {
+    return lo + (hi - lo) * (static_cast<double>(i) + 0.5) /
+                    static_cast<double>(n);
+  };
+  scenario::ScenarioSpec base = scenarioSpec(p.base);
+  base.policy = policy;
+  // Warm the plant cache once so the parallel variants all share one
+  // build instead of racing to construct identical plants.
+  (void)scenario::makeScenario(base);
+  const int variants = p.axisA * p.axisB;
+  struct Row {
+    double knobA = 0.0, knobB = 0.0;
+    scenario::ScenarioResult result;
+  };
+  const std::vector<Row> rows = exec::parallelMap<Row>(
+      static_cast<std::size_t>(variants), [&](std::size_t idx) {
+        const int ia = static_cast<int>(idx) / p.axisB;
+        const int ib = static_cast<int>(idx) % p.axisB;
+        scenario::ScenarioSpec spec = base;
+        spec.knobA = knobAt(range.aLo, range.aHi, ia, p.axisA);
+        spec.knobB = knobAt(range.bLo, range.bHi, ib, p.axisB);
+        scenario::ScenarioSetup setup = scenario::makeScenario(spec);
+        Row row;
+        row.knobA = spec.knobA;
+        row.knobB = spec.knobB;
+        row.result =
+            scenario::runScenario(*setup.plant, *setup.policy, setup.config);
+        return row;
+      });
+  int okCount = 0;
+  int best = -1;  // lowest-energy ok variant; first index wins ties
+  for (int i = 0; i < variants; ++i) {
+    if (!rows[static_cast<std::size_t>(i)].result.ok) continue;
+    ++okCount;
+    if (best < 0 || rows[static_cast<std::size_t>(i)].result.energyJ <
+                        rows[static_cast<std::size_t>(best)].result.energyJ) {
+      best = i;
+    }
+  }
+  JsonValue data = JsonValue::object();
+  data.set("node_nm", p.base.nodeNm);
+  data.set("scenario", p.base.scenario);
+  data.set("policy", policy);
+  data.set("axis_a", p.axisA);
+  data.set("axis_b", p.axisB);
+  data.set("variants", variants);
+  data.set("ok_count", okCount);
+  data.set("best_index", best);
+  JsonValue rowsJson = JsonValue::array();
+  for (const Row& row : rows) {
+    JsonValue o = JsonValue::object();
+    o.set("knob_a", row.knobA);
+    o.set("knob_b", row.knobB);
+    o.set("summary", scenarioSummaryJson(row.result));
+    rowsJson.push(std::move(o));
+  }
+  data.set("rows", std::move(rowsJson));
+  return data;
+}
+
 JsonValue dispatch(const Request& request) {
   switch (request.kind) {
     case RequestKind::Figure1:
@@ -328,6 +479,10 @@ JsonValue dispatch(const Request& request) {
       return evalNodeSummary(std::get<NodeSummaryParams>(request.params));
     case RequestKind::Sta:
       return evalSta(std::get<StaParams>(request.params));
+    case RequestKind::Scenario:
+      return evalScenario(std::get<ScenarioParams>(request.params));
+    case RequestKind::ScenarioSweep:
+      return evalScenarioSweep(std::get<ScenarioSweepParams>(request.params));
     case RequestKind::Stats:
       break;  // handled before dispatch: live data, not a pure function
   }

@@ -15,7 +15,7 @@ constexpr const char* kKindNames[kRequestKindCount] = {
     "figure1",      "figure2",     "figure34",       "figure5",
     "table2",       "design_point", "design_grid",   "design_optimum",
     "repeater",     "wire",        "grid_solve",     "node_summary",
-    "sta",          "stats",
+    "sta",          "scenario",    "scenario_sweep", "stats",
 };
 
 constexpr const char* kPriorityNames[3] = {"high", "normal", "low"};
@@ -101,75 +101,112 @@ class KeyBuilder {
   bool first_ = true;
 };
 
-void keyFields(KeyBuilder& k, const Fig1Params& p) {
-  k.field("points", p.points);
+// Single source of truth for every kind's wire fields: one fields()
+// declaration per param struct, walked by three visitors — the canonical-
+// key renderer, the JSONL parameter reader, and the params->JSON writer.
+// A field added here is automatically keyed, parsed, rendered, and
+// covered by the every-kind round-trip test; the three surfaces cannot
+// drift apart. Validation that goes beyond types lives in
+// validateParams() below, not here.
+
+template <class V> void fields(V& v, Fig1Params& p) {
+  v.integer("points", p.points);
 }
-void keyFields(KeyBuilder&, const Fig2Params&) {}
-void keyFields(KeyBuilder& k, const Fig34Params& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("points", p.points);
-  k.field("activity", p.activity);
-  k.field("vdd_min", p.vddMin);
+template <class V> void fields(V&, Fig2Params&) {}
+template <class V> void fields(V& v, Fig34Params& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.integer("points", p.points);
+  v.number("activity", p.activity);
+  v.number("vdd_min", p.vddMin);
 }
-void keyFields(KeyBuilder& k, const Fig5Params& p) {
-  k.field("mesh_check", p.meshCheck);
+template <class V> void fields(V& v, Fig5Params& p) {
+  v.boolean("mesh_check", p.meshCheck);
 }
-void keyFields(KeyBuilder&, const Table2Params&) {}
-void keyFields(KeyBuilder& k, const DesignPointParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("activity", p.activity);
-  k.field("vdd", p.vdd);
-  k.field("vth", p.vth);
+template <class V> void fields(V&, Table2Params&) {}
+template <class V> void fields(V& v, DesignPointParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.number("activity", p.activity);
+  v.number("vdd", p.vdd);
+  v.number("vth", p.vth);
 }
-void keyFields(KeyBuilder& k, const DesignGridParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("activity", p.activity);
-  k.field("vdd_min", p.vddMin);
-  k.field("vth_min", p.vthMin);
-  k.field("vth_max", p.vthMax);
-  k.field("vdd_steps", p.vddSteps);
-  k.field("vth_steps", p.vthSteps);
+template <class V> void fields(V& v, DesignGridParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.number("activity", p.activity);
+  v.number("vdd_min", p.vddMin);
+  v.number("vth_min", p.vthMin);
+  v.number("vth_max", p.vthMax);
+  v.integer("vdd_steps", p.vddSteps);
+  v.integer("vth_steps", p.vthSteps);
 }
-void keyFields(KeyBuilder& k, const DesignOptimumParams& p) {
-  keyFields(k, p.grid);
-  k.field("delay_target", p.delayTarget);
-  k.field("max_static_fraction", p.maxStaticFraction);
+template <class V> void fields(V& v, DesignOptimumParams& p) {
+  fields(v, p.grid);
+  v.number("delay_target", p.delayTarget);
+  v.number("max_static_fraction", p.maxStaticFraction);
 }
-void keyFields(KeyBuilder& k, const RepeaterParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("width_multiple", p.widthMultiple);
+template <class V> void fields(V& v, RepeaterParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.number("width_multiple", p.widthMultiple);
 }
-void keyFields(KeyBuilder& k, const WireParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("width_multiple", p.widthMultiple);
-  k.field("match_spacing", p.matchSpacing);
+template <class V> void fields(V& v, WireParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.number("width_multiple", p.widthMultiple);
+  v.boolean("match_spacing", p.matchSpacing);
 }
-void keyFields(KeyBuilder& k, const GridSolveParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("width_multiple", p.widthMultiple);
-  k.field("pad_pitch_um", p.padPitchUm);
-  k.field("subdivisions", p.subdivisions);
-  k.field("hotspot", p.hotspot);
-  k.field("preconditioner", p.preconditioner);
+template <class V> void fields(V& v, GridSolveParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.number("width_multiple", p.widthMultiple);
+  v.number("pad_pitch_um", p.padPitchUm);
+  v.integer("subdivisions", p.subdivisions);
+  v.boolean("hotspot", p.hotspot);
+  v.text("preconditioner", p.preconditioner);
 }
-void keyFields(KeyBuilder& k, const NodeSummaryParams& p) {
-  k.field("node_nm", p.nodeNm);
+template <class V> void fields(V& v, NodeSummaryParams& p) {
+  v.integer("node_nm", p.nodeNm);
 }
-void keyFields(KeyBuilder& k, const StaParams& p) {
-  k.field("node_nm", p.nodeNm);
-  k.field("gates", p.gates);
-  k.field("seed", p.seed);
-  k.field("blocks", p.blocks);
+template <class V> void fields(V& v, StaParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.integer("gates", p.gates);
+  v.integer("seed", p.seed);
+  v.integer("blocks", p.blocks);
 }
-void keyFields(KeyBuilder& k, const StatsParams& p) {
-  k.field("delta", p.delta);
+template <class V> void fields(V& v, ScenarioParams& p) {
+  v.integer("node_nm", p.nodeNm);
+  v.text("scenario", p.scenario);
+  v.text("policy", p.policy);
+  v.integer("steps", p.steps);
+  v.number("dt_us", p.dtUs);
+  v.integer("gates", p.gates);
+  v.integer("seed", p.seed);
+  v.integer("trace_stride", p.traceStride);
+  v.boolean("include_trace", p.includeTrace);
+  v.number("knob_a", p.knobA);
+  v.number("knob_b", p.knobB);
 }
+template <class V> void fields(V& v, ScenarioSweepParams& p) {
+  fields(v, p.base);
+  v.integer("axis_a", p.axisA);
+  v.integer("axis_b", p.axisB);
+}
+template <class V> void fields(V& v, StatsParams& p) {
+  v.boolean("delta", p.delta);
+}
+
+/// fields() adapter rendering into a KeyBuilder.
+struct KeyVisitor {
+  KeyBuilder& k;
+  void integer(const char* name, int& v) { k.field(name, v); }
+  void number(const char* name, double& v) { k.field(name, v); }
+  void boolean(const char* name, bool& v) { k.field(name, v); }
+  void text(const char* name, std::string& v) { k.field(name, v); }
+};
 
 }  // namespace
 
 std::string Request::canonicalKey() const {
   KeyBuilder k(kind);
-  std::visit([&k](const auto& p) { keyFields(k, p); }, params);
+  KeyVisitor visitor{k};
+  Params copy = params;  // fields() binds mutably; rendering never writes
+  std::visit([&visitor](auto& p) { fields(visitor, p); }, copy);
   return k.finish();
 }
 
@@ -252,79 +289,81 @@ class ParamReader {
   std::vector<bool> consumed_;
 };
 
-void readParams(ParamReader& r, Fig1Params& p) { r.integer("points", p.points); }
-void readParams(ParamReader&, Fig2Params&) {}
-void readParams(ParamReader& r, Fig34Params& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.integer("points", p.points);
-  r.number("activity", p.activity);
-  r.number("vdd_min", p.vddMin);
+/// fields() adapter pulling each declared field out of a ParamReader.
+struct ReadVisitor {
+  ParamReader& r;
+  void integer(const char* name, int& v) { r.integer(name, v); }
+  void number(const char* name, double& v) { r.number(name, v); }
+  void boolean(const char* name, bool& v) { r.boolean(name, v); }
+  void text(const char* name, std::string& v) { r.string(name, v); }
+};
+
+/// fields() adapter rendering each declared field into a JSON object.
+struct JsonVisitor {
+  JsonValue& obj;
+  void integer(const char* name, int& v) { obj.set(name, v); }
+  void number(const char* name, double& v) { obj.set(name, v); }
+  void boolean(const char* name, bool& v) { obj.set(name, v); }
+  void text(const char* name, std::string& v) { obj.set(name, v); }
+};
+
+// Cross-field and range validation, applied after a parse fills the struct
+// (so the checks see the final values whether they came from the wire or
+// from defaults). Throws std::invalid_argument like the readers do.
+
+[[noreturn]] void rejectParam(const std::string& message) {
+  throw std::invalid_argument("parameter " + message);
 }
-void readParams(ParamReader& r, Fig5Params& p) {
-  r.boolean("mesh_check", p.meshCheck);
-}
-void readParams(ParamReader&, Table2Params&) {}
-void readParams(ParamReader& r, DesignPointParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.number("activity", p.activity);
-  r.number("vdd", p.vdd);
-  r.number("vth", p.vth);
-}
-void readParams(ParamReader& r, DesignGridParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.number("activity", p.activity);
-  r.number("vdd_min", p.vddMin);
-  r.number("vth_min", p.vthMin);
-  r.number("vth_max", p.vthMax);
-  r.integer("vdd_steps", p.vddSteps);
-  r.integer("vth_steps", p.vthSteps);
-}
-void readParams(ParamReader& r, DesignOptimumParams& p) {
-  readParams(r, p.grid);
-  r.number("delay_target", p.delayTarget);
-  r.number("max_static_fraction", p.maxStaticFraction);
-}
-void readParams(ParamReader& r, RepeaterParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.number("width_multiple", p.widthMultiple);
-}
-void readParams(ParamReader& r, WireParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.number("width_multiple", p.widthMultiple);
-  r.boolean("match_spacing", p.matchSpacing);
-}
-void readParams(ParamReader& r, GridSolveParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.number("width_multiple", p.widthMultiple);
-  r.number("pad_pitch_um", p.padPitchUm);
-  r.integer("subdivisions", p.subdivisions);
-  r.boolean("hotspot", p.hotspot);
-  r.string("preconditioner", p.preconditioner);
+
+template <class P> void validateParams(const P&) {}
+
+void validateParams(const GridSolveParams& p) {
   if (p.preconditioner != "auto" && p.preconditioner != "jacobi" &&
       p.preconditioner != "multigrid") {
-    throw std::invalid_argument("parameter \"preconditioner\" must be one of "
-                                "auto/jacobi/multigrid");
+    rejectParam("\"preconditioner\" must be one of auto/jacobi/multigrid");
   }
 }
-void readParams(ParamReader& r, NodeSummaryParams& p) {
-  r.integer("node_nm", p.nodeNm);
-}
-void readParams(ParamReader& r, StaParams& p) {
-  r.integer("node_nm", p.nodeNm);
-  r.integer("gates", p.gates);
-  r.integer("seed", p.seed);
-  r.integer("blocks", p.blocks);
+
+void validateParams(const StaParams& p) {
   if (p.gates < 64 || p.gates > 2000000) {
-    throw std::invalid_argument(
-        "parameter \"gates\" must be in [64, 2000000]");
+    rejectParam("\"gates\" must be in [64, 2000000]");
   }
   if (p.blocks < 1 || p.blocks > 64) {
-    throw std::invalid_argument("parameter \"blocks\" must be in [1, 64]");
+    rejectParam("\"blocks\" must be in [1, 64]");
   }
 }
-void readParams(ParamReader& r, StatsParams& p) {
-  r.boolean("delta", p.delta);
+
+void validateParams(const ScenarioParams& p) {
+  if (p.scenario != "dtm" && p.scenario != "dvfs" && p.scenario != "wakeup") {
+    rejectParam("\"scenario\" must be one of dtm/dvfs/wakeup");
+  }
+  if (!p.policy.empty() && p.policy != "dtm" && p.policy != "dvfs" &&
+      p.policy != "explore") {
+    rejectParam("\"policy\" must be one of dtm/dvfs/explore (or omitted)");
+  }
+  if (p.steps < 1 || p.steps > 200000) {
+    rejectParam("\"steps\" must be in [1, 200000]");
+  }
+  if (!(p.dtUs > 0.0) || !std::isfinite(p.dtUs)) {
+    rejectParam("\"dt_us\" must be a positive finite number");
+  }
+  if (p.gates < 64 || p.gates > 200000) {
+    rejectParam("\"gates\" must be in [64, 200000]");
+  }
+  if (p.traceStride < 1) rejectParam("\"trace_stride\" must be >= 1");
 }
+
+void validateParams(const ScenarioSweepParams& p) {
+  validateParams(p.base);
+  if (p.axisA < 1 || p.axisA > 64) {
+    rejectParam("\"axis_a\" must be in [1, 64]");
+  }
+  if (p.axisB < 1 || p.axisB > 64) {
+    rejectParam("\"axis_b\" must be in [1, 64]");
+  }
+}
+
+}  // namespace
 
 Params defaultParams(RequestKind kind) {
   switch (kind) {
@@ -341,12 +380,20 @@ Params defaultParams(RequestKind kind) {
     case RequestKind::GridSolve: return GridSolveParams{};
     case RequestKind::NodeSummary: return NodeSummaryParams{};
     case RequestKind::Sta: return StaParams{};
+    case RequestKind::Scenario: return ScenarioParams{};
+    case RequestKind::ScenarioSweep: return ScenarioSweepParams{};
     case RequestKind::Stats: return StatsParams{};
   }
   return Fig1Params{};
 }
 
-}  // namespace
+JsonValue paramsJson(const Params& params) {
+  JsonValue obj = JsonValue::object();
+  JsonVisitor visitor{obj};
+  Params copy = params;  // fields() binds mutably; rendering never writes
+  std::visit([&visitor](auto& p) { fields(visitor, p); }, copy);
+  return obj;
+}
 
 bool parseRequest(const std::string& line, Request& out, std::string& error) {
   out = Request{};
@@ -399,8 +446,10 @@ bool parseRequest(const std::string& line, Request& out, std::string& error) {
     }
     out.params = defaultParams(out.kind);
     ParamReader reader(paramsField);
-    std::visit([&reader](auto& p) { readParams(reader, p); }, out.params);
+    ReadVisitor visitor{reader};
+    std::visit([&visitor](auto& p) { fields(visitor, p); }, out.params);
     reader.finish();
+    std::visit([](const auto& p) { validateParams(p); }, out.params);
   } catch (const std::exception& e) {
     error = e.what();
     return false;

@@ -13,6 +13,7 @@
 #include <variant>
 
 #include "obs/journal.h"
+#include "svc/json.h"
 
 namespace nano::svc {
 
@@ -32,9 +33,11 @@ enum class RequestKind {
   GridSolve,      ///< one power-grid mesh solve
   NodeSummary,    ///< end-to-end roadmap-node characterization
   Sta,            ///< full STA of a generated netlist (flat SoA engine)
+  Scenario,       ///< one closed-loop DTM/DVS scenario run
+  ScenarioSweep,  ///< policy-knob grid of scenario runs (parallel sweep)
   Stats,          ///< live metrics snapshot of the serving process
 };
-inline constexpr int kRequestKindCount = 14;
+inline constexpr int kRequestKindCount = 16;
 
 /// Stable wire name ("figure1", "design_point", ...).
 const char* kindName(RequestKind kind);
@@ -124,6 +127,40 @@ struct StaParams {
   /// Pipeline blocks of the generated slice (depth spread).
   int blocks = 8;
 };
+struct ScenarioParams {
+  int nodeNm = 35;
+  /// Canonical scenario: "dtm" | "dvfs" | "wakeup" (workload + packaging).
+  std::string scenario = "dtm";
+  /// Policy plug-in: "" picks the scenario's default; else "dtm" | "dvfs"
+  /// | "explore".
+  std::string policy;
+  /// Integration steps (1 .. 200,000 — the guard keeps one request from
+  /// occupying an evaluation lane for minutes) of `dt_us` each.
+  int steps = 2000;
+  double dtUs = 50.0;
+  /// Generated design slice sizing the plant's timing substrate.
+  int gates = 2000;
+  int seed = 1;
+  int traceStride = 100;
+  /// Include the decimated per-step trace in the payload (summaries only
+  /// when false — sweeps always omit it).
+  bool includeTrace = false;
+  /// Policy tuning knobs (0 = policy default); meaning per policy:
+  ///   dtm:     A = throttle factor,       B = trip margin below tjMax, K
+  ///   dvfs:    A = level-voltage scale,   B = gate-below-demand threshold
+  ///   explore: A = Vdd exploration floor, B = slack guard fraction
+  double knobA = 0.0;
+  double knobB = 0.0;
+};
+struct ScenarioSweepParams {
+  /// Shared run configuration; knob_a/knob_b/include_trace are ignored
+  /// (the sweep sets the knobs per variant and never returns traces).
+  ScenarioParams base;
+  /// Grid of policy-knob variants spanning the policy's knob ranges:
+  /// axis_a x axis_b runs (1 .. 64 each, at most 4096 total).
+  int axisA = 8;
+  int axisB = 8;
+};
 struct StatsParams {
   /// Report counter increases since the previous stats snapshot instead of
   /// absolute values.
@@ -134,7 +171,18 @@ using Params =
     std::variant<Fig1Params, Fig2Params, Fig34Params, Fig5Params, Table2Params,
                  DesignPointParams, DesignGridParams, DesignOptimumParams,
                  RepeaterParams, WireParams, GridSolveParams,
-                 NodeSummaryParams, StaParams, StatsParams>;
+                 NodeSummaryParams, StaParams, ScenarioParams,
+                 ScenarioSweepParams, StatsParams>;
+
+/// Default-initialized parameters for a kind (what an empty "params"
+/// object parses to).
+Params defaultParams(RequestKind kind);
+
+/// The wire-form "params" object of a filled param struct: every field
+/// rendered in canonical order. Parsing it back under the same kind
+/// reproduces the identical struct and canonical key — the round-trip
+/// the request tests pin down for every registered kind.
+JsonValue paramsJson(const Params& params);
 
 /// One admitted request. `id` is an opaque client token echoed back on the
 /// response; it plays no role in caching.

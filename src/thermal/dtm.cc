@@ -4,14 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "thermal/validate.h"
+
 namespace nano::thermal {
 
 DtmResult simulateDtm(const ThermalPackage& package, const PowerTrace& trace,
                       double worstCasePower, double tAmbient,
                       const DtmPolicy& policy, double dt, int traceStride) {
-  if (dt <= 0) throw std::invalid_argument("simulateDtm: dt <= 0");
+  const ThermalInputCheck check = validateDtmInputs(
+      package, trace, worstCasePower, tAmbient, policy, dt, traceStride);
+  if (!check.ok()) {
+    throw std::invalid_argument("simulateDtm: " + check.describe());
+  }
   const double duration = trace.totalDuration();
-  if (duration <= 0) throw std::invalid_argument("simulateDtm: empty trace");
 
   // Power multiplier while throttled. Vdd scaling assumes V tracks f
   // linearly in the scaled region (power ~ f * V^2 => factor^3).

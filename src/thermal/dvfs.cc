@@ -3,16 +3,17 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "thermal/validate.h"
+
 namespace nano::thermal {
 
 DvfsResult simulateDvfs(const ThermalPackage& package, const PowerTrace& demand,
                         double worstCasePower, double tAmbient,
                         const DvfsPolicy& policy) {
-  if (policy.levels.empty()) {
-    throw std::invalid_argument("simulateDvfs: no levels");
-  }
-  if (demand.totalDuration() <= 0) {
-    throw std::invalid_argument("simulateDvfs: empty demand trace");
+  const ThermalInputCheck check =
+      validateDvfsInputs(package, demand, worstCasePower, tAmbient, policy);
+  if (!check.ok()) {
+    throw std::invalid_argument("simulateDvfs: " + check.describe());
   }
 
   // The governor's choice per demand value: the admissible level with the

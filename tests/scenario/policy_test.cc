@@ -1,0 +1,138 @@
+#include "scenario/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace nano::scenario {
+namespace {
+
+PolicyObservation obsAt(double timeS, double temperatureK,
+                        double demand = 0.5) {
+  PolicyObservation o;
+  o.timeS = timeS;
+  o.temperatureK = temperatureK;
+  o.demandFraction = demand;
+  o.clockPeriodS = 250e-12;
+  o.slackS = 25e-12;
+  return o;
+}
+
+TEST(ReactiveDtmPolicy, TripsAboveAndReleasesBelowHysteresis) {
+  ReactiveDtmPolicy::Config cfg;
+  cfg.tripTemperatureK = 350.0;
+  cfg.hysteresisK = 3.0;
+  cfg.throttleFactor = 0.5;
+  cfg.sensorDelayS = 0.0;  // instant actuation for the state-machine test
+  ReactiveDtmPolicy policy(cfg);
+
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(0.0, 340.0)).freqFraction, 1.0);
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(1e-4, 350.5)).freqFraction, 0.5);
+  // Inside the hysteresis band: stays throttled.
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(2e-4, 348.0)).freqFraction, 0.5);
+  // Below trip - hysteresis: releases.
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(3e-4, 346.5)).freqFraction, 1.0);
+}
+
+TEST(ReactiveDtmPolicy, SensorDelayDefersActuation) {
+  ReactiveDtmPolicy::Config cfg;
+  cfg.tripTemperatureK = 350.0;
+  cfg.sensorDelayS = 100e-6;
+  ReactiveDtmPolicy policy(cfg);
+
+  // Trip observed at t=0 but the actuation path is 100 us long.
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(0.0, 351.0)).freqFraction, 1.0);
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(50e-6, 351.0)).freqFraction, 1.0);
+  EXPECT_DOUBLE_EQ(policy.decide(obsAt(120e-6, 351.0)).freqFraction, 0.5);
+}
+
+TEST(ReactiveDtmPolicy, ScaleVddTracksThrottle) {
+  ReactiveDtmPolicy::Config cfg;
+  cfg.tripTemperatureK = 350.0;
+  cfg.sensorDelayS = 0.0;
+  cfg.scaleVdd = true;
+  ReactiveDtmPolicy policy(cfg);
+  const Actuation a = policy.decide(obsAt(0.0, 351.0));
+  EXPECT_DOUBLE_EQ(a.freqFraction, 0.5);
+  EXPECT_DOUBLE_EQ(a.vddFraction, 0.5);
+
+  policy.reset();
+  const Actuation fresh = policy.decide(obsAt(0.0, 340.0));
+  EXPECT_DOUBLE_EQ(fresh.freqFraction, 1.0);
+  EXPECT_DOUBLE_EQ(fresh.vddFraction, 1.0);
+}
+
+TEST(TableDvfsPolicy, RejectsEmptyTable) {
+  EXPECT_THROW(TableDvfsPolicy(TableDvfsPolicy::Config{}),
+               std::invalid_argument);
+}
+
+TEST(TableDvfsPolicy, PicksLowestPowerAdmissibleLevel) {
+  TableDvfsPolicy::Config cfg;
+  cfg.levels = {{0.4, 0.7}, {1.0, 1.0}, {0.6, 0.8}, {0.8, 0.9}};
+  TableDvfsPolicy policy(cfg);
+  const Actuation a = policy.decide(obsAt(0.0, 320.0, 0.55));
+  EXPECT_DOUBLE_EQ(a.freqFraction, 0.6);
+  EXPECT_DOUBLE_EQ(a.vddFraction, 0.8);
+}
+
+TEST(TableDvfsPolicy, DemandAboveAllLevelsUsesFastest) {
+  TableDvfsPolicy::Config cfg;
+  cfg.levels = {{0.25, 0.6}, {0.5, 0.7}};
+  TableDvfsPolicy policy(cfg);
+  const Actuation a = policy.decide(obsAt(0.0, 320.0, 0.9));
+  EXPECT_DOUBLE_EQ(a.freqFraction, 0.5);
+}
+
+TEST(TableDvfsPolicy, GatesBelowThreshold) {
+  TableDvfsPolicy::Config cfg;
+  cfg.levels = {{1.0, 1.0}, {0.5, 0.7}};
+  cfg.gateBelowDemand = 0.1;
+  TableDvfsPolicy policy(cfg);
+  EXPECT_TRUE(policy.decide(obsAt(0.0, 320.0, 0.05)).clockGate);
+  EXPECT_FALSE(policy.decide(obsAt(0.0, 320.0, 0.5)).clockGate);
+}
+
+TEST(ExploreDvsPolicy, StepsDownOnlyAfterHoldAndRetreatsImmediately) {
+  ExploreDvsPolicy::Config cfg;
+  cfg.vddMin = 0.7;
+  cfg.vddStep = 0.05;
+  cfg.holdSteps = 4;
+  cfg.temperatureLimitK = 360.0;
+  ExploreDvsPolicy policy(cfg);
+
+  // Comfortable margins: hold for holdSteps - 1 calls, step down on the
+  // call that completes the hold window.
+  PolicyObservation comfy = obsAt(0.0, 320.0);
+  comfy.slackS = 100e-12;  // way above 8 % of 250 ps
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(policy.decide(comfy).vddFraction, 1.0) << i;
+  }
+  const Actuation down = policy.decide(comfy);
+  EXPECT_DOUBLE_EQ(down.vddFraction, 0.95);
+  EXPECT_DOUBLE_EQ(down.freqFraction, down.vddFraction);
+
+  // Tight slack: immediate retreat upward.
+  PolicyObservation tight = comfy;
+  tight.slackS = 1e-12;
+  EXPECT_DOUBLE_EQ(policy.decide(tight).vddFraction, 1.0);
+}
+
+TEST(ExploreDvsPolicy, NeverExploresBelowFloor) {
+  ExploreDvsPolicy::Config cfg;
+  cfg.vddMin = 0.9;
+  cfg.vddStep = 0.05;
+  cfg.holdSteps = 1;
+  cfg.temperatureLimitK = 360.0;
+  ExploreDvsPolicy policy(cfg);
+  PolicyObservation comfy = obsAt(0.0, 320.0);
+  comfy.slackS = 100e-12;
+  double lowest = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    lowest = std::min(lowest, policy.decide(comfy).vddFraction);
+  }
+  EXPECT_GE(lowest, 0.9 - 1e-12);
+}
+
+}  // namespace
+}  // namespace nano::scenario

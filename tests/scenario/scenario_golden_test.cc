@@ -1,0 +1,52 @@
+// Golden replay of the three canonical closed-loop scenarios: the CSV
+// trace of canonicalSpec(name) must reproduce golden/scenario_<name>.csv
+// byte for byte — at 1, 2, and 8 exec lanes, since the engine guarantees
+// lane-count invariance. Regenerate with scripts/refresh_goldens.sh after
+// an intentional model change.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/exec.h"
+#include "scenario/scenario.h"
+
+namespace nano::scenario {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run scripts/refresh_goldens.sh)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string runCanonical(const std::string& name) {
+  ScenarioSetup setup = makeScenario(canonicalSpec(name));
+  return scenarioCsv(runScenario(*setup.plant, *setup.policy, setup.config));
+}
+
+class ScenarioGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioGolden, ReplaysByteIdenticallyAtAnyLaneCount) {
+  const std::string name = GetParam();
+  const std::string golden =
+      readFile(std::string(NANO_GOLDEN_DIR) + "/scenario_" + name + ".csv");
+  ASSERT_FALSE(golden.empty());
+  const int before = exec::threadCount();
+  for (int lanes : {1, 2, 8}) {
+    exec::setGlobalThreadCount(lanes);
+    EXPECT_EQ(runCanonical(name), golden) << name << " at " << lanes
+                                          << " lanes";
+  }
+  exec::setGlobalThreadCount(before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Canonical, ScenarioGolden,
+                         ::testing::Values("dtm", "dvfs", "wakeup"));
+
+}  // namespace
+}  // namespace nano::scenario

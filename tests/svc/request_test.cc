@@ -60,6 +60,78 @@ TEST(RequestParse, EveryKindNameRoundTrips) {
   }
 }
 
+TEST(RequestParse, EveryKindParamsRoundTripByteIdentically) {
+  // Generated from the registered kind list, not a hand-kept table: for
+  // every kind, render the default params to their wire form, parse that
+  // back, and demand the same canonical key and the same wire bytes. A
+  // kind whose fields() declaration drifts from its parse path fails here
+  // automatically.
+  for (int i = 0; i < kRequestKindCount; ++i) {
+    const auto kind = static_cast<RequestKind>(i);
+    const Params defaults = defaultParams(kind);
+    const std::string wire = paramsJson(defaults).write();
+    const Request parsed = mustParse(std::string(R"({"kind":")") +
+                                     kindName(kind) + R"(","params":)" + wire +
+                                     "}");
+    Request plain;
+    plain.kind = kind;
+    plain.params = defaults;
+    EXPECT_EQ(parsed.canonicalKey(), plain.canonicalKey()) << kindName(kind);
+    EXPECT_EQ(paramsJson(parsed.params).write(), wire) << kindName(kind);
+    // And an empty params object means exactly the defaults.
+    const Request empty = mustParse(std::string(R"({"kind":")") +
+                                    kindName(kind) + R"(","params":{}})");
+    EXPECT_EQ(empty.canonicalKey(), plain.canonicalKey()) << kindName(kind);
+  }
+}
+
+TEST(RequestParse, ScenarioParamsRoundTripWithNonDefaults) {
+  const Request r = mustParse(
+      R"({"kind":"scenario","params":{"scenario":"dvfs","policy":"explore",)"
+      R"("steps":512,"dt_us":25.5,"knob_a":0.75,"knob_b":0.1,)"
+      R"("include_trace":true}})");
+  const auto& p = std::get<ScenarioParams>(r.params);
+  EXPECT_EQ(p.scenario, "dvfs");
+  EXPECT_EQ(p.policy, "explore");
+  EXPECT_EQ(p.steps, 512);
+  EXPECT_DOUBLE_EQ(p.dtUs, 25.5);
+  EXPECT_TRUE(p.includeTrace);
+  const std::string wire = paramsJson(r.params).write();
+  const Request again = mustParse(std::string(R"({"kind":"scenario","params":)") +
+                                  wire + "}");
+  EXPECT_EQ(again.canonicalKey(), r.canonicalKey());
+  EXPECT_EQ(paramsJson(again.params).write(), wire);
+}
+
+TEST(RequestParse, ScenarioValidationRejectsBadValues) {
+  EXPECT_NE(mustFail(R"({"kind":"scenario","params":{"scenario":"meltdown"}})")
+                .find("scenario"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario","params":{"policy":"chaos"}})")
+                .find("policy"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario","params":{"steps":0}})")
+                .find("steps"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario","params":{"dt_us":0}})")
+                .find("dt_us"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario","params":{"trace_stride":0}})")
+                .find("trace_stride"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario_sweep","params":{"axis_a":0}})")
+                .find("axis_a"),
+            std::string::npos);
+  EXPECT_NE(mustFail(R"({"kind":"scenario_sweep","params":{"axis_b":65}})")
+                .find("axis_b"),
+            std::string::npos);
+  // Sweep inherits the base scenario validation.
+  EXPECT_NE(
+      mustFail(R"({"kind":"scenario_sweep","params":{"scenario":"meltdown"}})")
+          .find("scenario"),
+      std::string::npos);
+}
+
 TEST(RequestParse, RejectsBadInput) {
   EXPECT_NE(mustFail("not json").find("parseJson"), std::string::npos);
   EXPECT_NE(mustFail("[1]").find("object"), std::string::npos);

@@ -85,6 +85,50 @@ TEST(Dtm, HysteresisPreventsChatter) {
   EXPECT_LT(toggles, static_cast<int>(r.powerW.size()) / 10);
 }
 
+TEST(Dtm, ZeroHysteresisStillConverges) {
+  // The degenerate hysteresis band: the sensor may chatter but the loop
+  // must stay bounded near the trip point, not diverge or deadlock.
+  Fixture f;
+  DtmPolicy p = f.policy;
+  p.hysteresis = 0.0;
+  const DtmResult r = simulateDtm(f.package, powerVirus(0.3), f.worstCase,
+                                  f.tAmbient, p, 20e-6, 1);
+  EXPECT_LT(r.maxTemperature, p.tripTemperature + 2.0);
+  EXPECT_GT(r.throttledFraction, 0.0);
+}
+
+TEST(Dtm, WiderHysteresisSlowsToggling) {
+  Fixture f;
+  auto toggles = [&](double hysteresis) {
+    DtmPolicy p = f.policy;
+    p.hysteresis = hysteresis;
+    const DtmResult r = simulateDtm(f.package, powerVirus(0.3), f.worstCase,
+                                    f.tAmbient, p, 20e-6, 1);
+    int n = 0;
+    for (std::size_t i = 1; i < r.powerW.size(); ++i) {
+      if (r.powerW[i] != r.powerW[i - 1]) ++n;
+    }
+    return n;
+  };
+  EXPECT_LE(toggles(6.0), toggles(0.5));
+}
+
+TEST(Dtm, SensorDelayCausesOvershoot) {
+  // Actuation lag lets the die coast past the trip point: a slower sensor
+  // path must never read as cooler than an instant one.
+  Fixture f;
+  DtmPolicy instant = f.policy;
+  instant.sensorDelay = 0.0;
+  DtmPolicy slow = f.policy;
+  slow.sensorDelay = 2e-3;
+  const DtmResult a = simulateDtm(f.package, powerVirus(0.3), f.worstCase,
+                                  f.tAmbient, instant, 20e-6, 1);
+  const DtmResult b = simulateDtm(f.package, powerVirus(0.3), f.worstCase,
+                                  f.tAmbient, slow, 20e-6, 1);
+  EXPECT_GE(b.maxTemperature, a.maxTemperature - 1e-9);
+  EXPECT_GT(b.maxTemperature, instant.tripTemperature);
+}
+
 TEST(Dtm, TraceIsRecorded) {
   Fixture f;
   const DtmResult r = simulateDtm(f.package, powerVirus(0.1), f.worstCase,

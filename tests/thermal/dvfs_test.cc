@@ -92,6 +92,38 @@ TEST(Dvfs, DemandAboveAllLevelsUsesFastest) {
   EXPECT_NEAR(r.throughputDelivered, 0.5, 1e-9);
 }
 
+TEST(Dvfs, LevelOrderDoesNotMatter) {
+  // The governor's contract is "lowest-power admissible level", not "first
+  // admissible in table order": a shuffled table must behave identically.
+  Fixture f;
+  DvfsPolicy sorted;
+  sorted.levels = {{1.0, 1.0}, {0.8, 0.9}, {0.6, 0.8}, {0.4, 0.7}};
+  DvfsPolicy shuffled;
+  shuffled.levels = {{0.4, 0.7}, {1.0, 1.0}, {0.6, 0.8}, {0.8, 0.9}};
+  for (double d : {0.1, 0.4, 0.55, 0.8, 1.0}) {
+    const DvfsResult a =
+        simulateDvfs(f.package, demand({d}), f.peak, f.tAmbient, sorted);
+    const DvfsResult b =
+        simulateDvfs(f.package, demand({d}), f.peak, f.tAmbient, shuffled);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy) << d;
+    EXPECT_DOUBLE_EQ(a.throughputDelivered, b.throughputDelivered) << d;
+  }
+}
+
+TEST(Dvfs, PicksLowestPowerAmongAdmissible) {
+  // Two levels cover a 0.5 demand; the slower one wins on f * V^2 even
+  // though the faster one is listed first.
+  Fixture f;
+  DvfsPolicy p;
+  p.levels = {{1.0, 1.0}, {0.5, 0.7}};
+  p.idleFraction = 0.0;
+  const DvfsResult r =
+      simulateDvfs(f.package, demand({0.5}), f.peak, f.tAmbient, p);
+  // Full-speed active energy for the same work would be d * P * T; at the
+  // (0.5, 0.7) level the whole phase runs busy at 0.5 * 0.49 * P.
+  EXPECT_NEAR(r.energy / r.energyFullSpeed, 0.49, 1e-9);
+}
+
 TEST(Dvfs, Rejections) {
   Fixture f;
   DvfsPolicy empty;

@@ -1,0 +1,66 @@
+// Regenerates the committed golden scenario traces: runs the three
+// canonical closed-loop scenarios (DTM packaging-for-effective-worst-case,
+// DVFS energy-vs-slack, wake-up rush current) and writes
+// scenario_<name>.csv into the given directory (default golden/). With
+// --summary, prints each run's summary instead of (or in addition to)
+// writing files — the tuning view used when recalibrating policies.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace {
+
+int fail(const char* message) {
+  std::fprintf(stderr, "scenario_gen: %s\n", message);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string outDir = "golden";
+  bool summary = false;
+  bool write = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else if (std::strcmp(argv[i], "--no-write") == 0) {
+      write = false;
+    } else if (argv[i][0] == '-') {
+      return fail("usage: scenario_gen [outdir] [--summary] [--no-write]");
+    } else {
+      outDir = argv[i];
+    }
+  }
+
+  for (const char* name : {"dtm", "dvfs", "wakeup"}) {
+    const nano::scenario::ScenarioSpec spec =
+        nano::scenario::canonicalSpec(name);
+    nano::scenario::ScenarioSetup setup = nano::scenario::makeScenario(spec);
+    const nano::scenario::ScenarioResult result = nano::scenario::runScenario(
+        *setup.plant, *setup.policy, setup.config);
+    if (summary) {
+      std::printf(
+          "%-6s ok=%d violations=%ld checks=%ld energy=%.4f J "
+          "savings=%.3f throughput=%.4f maxT=%.2f K peakIR=%.5f "
+          "peakRush=%.6f worstSlack=%.2f ps gate=%ld vddSteps=%ld "
+          "baseDrop=%.5f clock=%.1f ps\n",
+          name, result.ok ? 1 : 0, result.violationCount,
+          result.checksEvaluated, result.energyJ, result.energySavings(),
+          result.throughputFraction, result.maxTemperatureK,
+          result.peakIrDropFraction, result.peakRushFraction,
+          result.worstSlackS * 1e12, result.gateEvents, result.vddSteps,
+          setup.plant->baseDropFraction(),
+          setup.plant->clockPeriod() * 1e12);
+    }
+    if (!write) continue;
+    const std::string path = outDir + "/scenario_" + name + ".csv";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return fail(("cannot open " + path).c_str());
+    out << nano::scenario::scenarioCsv(result);
+  }
+  return 0;
+}
